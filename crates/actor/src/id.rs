@@ -1,0 +1,204 @@
+//! Process identifiers and role assignments.
+
+use std::fmt;
+
+/// Identifier of a process in the system.
+///
+/// The paper's agents — proposers, coordinators, acceptors and learners —
+/// are *roles*, and one process may play several of them (for instance, in
+/// uncoordinated collision recovery an acceptor also acts as a coordinator
+/// quorum of itself, §4.2). `ProcessId` therefore identifies a process, not
+/// a role; role membership is tracked by [`RoleMap`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Returns the raw numeric id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Static assignment of protocol roles to processes.
+///
+/// Role sets may overlap arbitrarily: a process can simultaneously be a
+/// proposer, a coordinator, an acceptor and a learner (the paper explicitly
+/// allows and sometimes requires this). The map is immutable configuration,
+/// shared by every process of a deployment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoleMap {
+    proposers: Vec<ProcessId>,
+    coordinators: Vec<ProcessId>,
+    acceptors: Vec<ProcessId>,
+    learners: Vec<ProcessId>,
+}
+
+impl RoleMap {
+    /// Creates a new role map from explicit role sets.
+    ///
+    /// Each set is deduplicated and sorted so that deployments constructed
+    /// from the same members compare equal regardless of argument order.
+    pub fn new(
+        proposers: impl IntoIterator<Item = ProcessId>,
+        coordinators: impl IntoIterator<Item = ProcessId>,
+        acceptors: impl IntoIterator<Item = ProcessId>,
+        learners: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
+        fn norm(it: impl IntoIterator<Item = ProcessId>) -> Vec<ProcessId> {
+            let mut v: Vec<ProcessId> = it.into_iter().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        RoleMap {
+            proposers: norm(proposers),
+            coordinators: norm(coordinators),
+            acceptors: norm(acceptors),
+            learners: norm(learners),
+        }
+    }
+
+    /// A compact deployment: `n_prop` proposers, then `n_coord` coordinators,
+    /// then `n_acc` acceptors, then `n_learn` learners, with consecutive ids
+    /// starting at 0 and no overlap.
+    pub fn disjoint(n_prop: usize, n_coord: usize, n_acc: usize, n_learn: usize) -> Self {
+        let mut next = 0u32;
+        let mut take = |n: usize| -> Vec<ProcessId> {
+            let v: Vec<ProcessId> = (next..next + n as u32).map(ProcessId).collect();
+            next += n as u32;
+            v
+        };
+        let proposers = take(n_prop);
+        let coordinators = take(n_coord);
+        let acceptors = take(n_acc);
+        let learners = take(n_learn);
+        RoleMap {
+            proposers,
+            coordinators,
+            acceptors,
+            learners,
+        }
+    }
+
+    /// The proposer processes.
+    pub fn proposers(&self) -> &[ProcessId] {
+        &self.proposers
+    }
+
+    /// The coordinator processes.
+    pub fn coordinators(&self) -> &[ProcessId] {
+        &self.coordinators
+    }
+
+    /// The acceptor processes.
+    pub fn acceptors(&self) -> &[ProcessId] {
+        &self.acceptors
+    }
+
+    /// The learner processes.
+    pub fn learners(&self) -> &[ProcessId] {
+        &self.learners
+    }
+
+    /// Whether `p` is a proposer.
+    pub fn is_proposer(&self, p: ProcessId) -> bool {
+        self.proposers.binary_search(&p).is_ok()
+    }
+
+    /// Whether `p` is a coordinator.
+    pub fn is_coordinator(&self, p: ProcessId) -> bool {
+        self.coordinators.binary_search(&p).is_ok()
+    }
+
+    /// Whether `p` is an acceptor.
+    pub fn is_acceptor(&self, p: ProcessId) -> bool {
+        self.acceptors.binary_search(&p).is_ok()
+    }
+
+    /// Whether `p` is a learner.
+    pub fn is_learner(&self, p: ProcessId) -> bool {
+        self.learners.binary_search(&p).is_ok()
+    }
+
+    /// Every process mentioned in any role, deduplicated and sorted.
+    pub fn all(&self) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self
+            .proposers
+            .iter()
+            .chain(&self.coordinators)
+            .chain(&self.acceptors)
+            .chain(&self.learners)
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of acceptors (the `n` that quorum arithmetic is based on).
+    pub fn n_acceptors(&self) -> usize {
+        self.acceptors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_assigns_consecutive_ids() {
+        let rm = RoleMap::disjoint(1, 3, 5, 2);
+        assert_eq!(rm.proposers(), &[ProcessId(0)]);
+        assert_eq!(
+            rm.coordinators(),
+            &[ProcessId(1), ProcessId(2), ProcessId(3)]
+        );
+        assert_eq!(rm.acceptors().len(), 5);
+        assert_eq!(rm.acceptors()[0], ProcessId(4));
+        assert_eq!(rm.learners(), &[ProcessId(9), ProcessId(10)]);
+        assert_eq!(rm.all().len(), 11);
+    }
+
+    #[test]
+    fn roles_may_overlap() {
+        let p = |i| ProcessId(i);
+        let rm = RoleMap::new([p(0)], [p(1), p(2)], [p(1), p(2), p(3)], [p(0)]);
+        assert!(rm.is_coordinator(p(1)));
+        assert!(rm.is_acceptor(p(1)));
+        assert!(rm.is_learner(p(0)));
+        assert!(rm.is_proposer(p(0)));
+        assert!(!rm.is_acceptor(p(0)));
+        assert_eq!(rm.all(), vec![p(0), p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn new_dedups_and_sorts() {
+        let p = |i| ProcessId(i);
+        let rm = RoleMap::new([p(3), p(1), p(3)], [], [], []);
+        assert_eq!(rm.proposers(), &[p(1), p(3)]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", ProcessId(7)), "p7");
+        assert_eq!(format!("{:?}", ProcessId(7)), "p7");
+    }
+}

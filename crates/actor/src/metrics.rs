@@ -1,0 +1,140 @@
+//! Lightweight metric recording for experiments.
+//!
+//! Agents report countable events ("collision detected", "value accepted",
+//! "message retransmitted") through [`crate::Context::metric`]. The harness
+//! aggregates them per process and per name. Metrics never feed back into
+//! the protocol.
+
+use crate::ProcessId;
+use std::collections::BTreeMap;
+
+/// A single metric observation: a named counter increment or gauge sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Metric {
+    /// Metric name. Static strings keep recording allocation-free.
+    pub name: &'static str,
+    /// Amount to add to the counter (or the gauge sample value).
+    pub value: i64,
+}
+
+impl Metric {
+    /// A counter increment of 1.
+    pub fn incr(name: &'static str) -> Self {
+        Metric { name, value: 1 }
+    }
+
+    /// A counter increment of `value`.
+    pub fn add(name: &'static str, value: i64) -> Self {
+        Metric { name, value }
+    }
+}
+
+/// Receives metric observations attributed to a process.
+pub trait MetricSink {
+    /// Records one observation from process `from`.
+    fn record(&mut self, from: ProcessId, metric: Metric);
+}
+
+/// In-memory aggregation of metrics: per-(process, name) sums.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    sums: BTreeMap<(ProcessId, &'static str), i64>,
+    counts: BTreeMap<(ProcessId, &'static str), u64>,
+}
+
+impl Metrics {
+    /// Creates an empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of `name` across all processes.
+    pub fn total(&self, name: &str) -> i64 {
+        self.sums
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Sum of `name` for one process.
+    pub fn of(&self, p: ProcessId, name: &str) -> i64 {
+        self.sums
+            .iter()
+            .filter(|((q, n), _)| *q == p && *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Number of observations of `name` for process `p`.
+    pub fn count_of(&self, p: ProcessId, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((q, n), _)| *q == p && *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// All `(process, value)` pairs recorded for `name`, sorted by process.
+    pub fn per_process(&self, name: &str) -> Vec<(ProcessId, i64)> {
+        self.sums
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|((p, _), v)| (*p, *v))
+            .collect()
+    }
+
+    /// All distinct metric names seen.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.sums.keys().map(|(_, n)| *n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Clears all recorded values.
+    pub fn clear(&mut self) {
+        self.sums.clear();
+        self.counts.clear();
+    }
+}
+
+impl MetricSink for Metrics {
+    fn record(&mut self, from: ProcessId, metric: Metric) {
+        *self.sums.entry((from, metric.name)).or_insert(0) += metric.value;
+        *self.counts.entry((from, metric.name)).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_per_process_and_total() {
+        let mut m = Metrics::new();
+        m.record(ProcessId(1), Metric::incr("accepts"));
+        m.record(ProcessId(1), Metric::incr("accepts"));
+        m.record(ProcessId(2), Metric::add("accepts", 5));
+        m.record(ProcessId(2), Metric::incr("collisions"));
+        assert_eq!(m.total("accepts"), 7);
+        assert_eq!(m.of(ProcessId(1), "accepts"), 2);
+        assert_eq!(m.of(ProcessId(2), "accepts"), 5);
+        assert_eq!(m.count_of(ProcessId(1), "accepts"), 2);
+        assert_eq!(
+            m.per_process("accepts"),
+            vec![(ProcessId(1), 2), (ProcessId(2), 5)]
+        );
+        assert_eq!(m.names(), vec!["accepts", "collisions"]);
+        m.clear();
+        assert_eq!(m.total("accepts"), 0);
+    }
+
+    #[test]
+    fn missing_names_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.total("nope"), 0);
+        assert_eq!(m.of(ProcessId(0), "nope"), 0);
+        assert!(m.names().is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Stable storage with write accounting.
+//!
+//! §4.4 of the paper is entirely about *when* agents must write to disk:
+//! acceptors must persist `(vrnd, vval)` on every accept, may keep `rnd`
+//! volatile under the `MCount` scheme, and coordinators never need stable
+//! storage at all. To measure those claims we route every durable write
+//! through [`StableStore`], which counts writes; the simulator additionally
+//! charges a configurable latency per write.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Process-local stable storage: a small key-value store of byte strings
+/// that survives crashes.
+///
+/// Keys are short static names ("vote", "mcount", ...); values are produced
+/// by the [`crate::wire`] codec. One `write` models one synchronous disk
+/// write (the unit of §4.4's accounting).
+pub trait StableStore {
+    /// Durably writes `value` under `key`, replacing any previous value.
+    /// Counts as one disk write even if the value is unchanged.
+    fn write(&mut self, key: &str, value: Vec<u8>);
+
+    /// Reads the last value written under `key`, if any.
+    fn read(&self, key: &str) -> Option<&[u8]>;
+
+    /// Total number of writes performed over the lifetime of the store
+    /// (across crashes — the store itself is the durable medium).
+    fn write_count(&self) -> u64;
+}
+
+/// In-memory implementation of [`StableStore`].
+///
+/// "In-memory" refers to the host process running the simulation; from the
+/// simulated process's point of view this storage is durable: the simulator
+/// keeps it across crash/recover cycles of the owning process.
+#[derive(Clone, Default)]
+pub struct MemStore {
+    data: BTreeMap<String, Vec<u8>>,
+    writes: u64,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct keys currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Resets the write counter (used between experiment phases).
+    pub fn reset_write_count(&mut self) {
+        self.writes = 0;
+    }
+}
+
+impl StableStore for MemStore {
+    fn write(&mut self, key: &str, value: Vec<u8>) {
+        self.writes += 1;
+        self.data.insert(key.to_owned(), value);
+    }
+
+    fn read(&self, key: &str) -> Option<&[u8]> {
+        self.data.get(key).map(|v| v.as_slice())
+    }
+
+    fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemStore")
+            .field("keys", &self.data.keys().collect::<Vec<_>>())
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = MemStore::new();
+        assert!(s.read("vote").is_none());
+        assert!(s.is_empty());
+        s.write("vote", vec![1, 2, 3]);
+        assert_eq!(s.read("vote"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn every_write_is_counted() {
+        let mut s = MemStore::new();
+        s.write("k", vec![0]);
+        s.write("k", vec![0]); // same value: still a disk write
+        s.write("j", vec![1]);
+        assert_eq!(s.write_count(), 3);
+        s.reset_write_count();
+        assert_eq!(s.write_count(), 0);
+        // data survives the counter reset
+        assert_eq!(s.read("j"), Some(&[1u8][..]));
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut s = MemStore::new();
+        s.write("k", vec![0]);
+        s.write("k", vec![9, 9]);
+        assert_eq!(s.read("k"), Some(&[9u8, 9][..]));
+        assert_eq!(s.len(), 1);
+    }
+}

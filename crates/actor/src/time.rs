@@ -1,0 +1,122 @@
+//! Logical time used by both the simulator and the live runtime.
+//!
+//! Time is measured in abstract *ticks*. In the simulator a tick is a unit
+//! of virtual time (experiments use unit link delays so that elapsed ticks
+//! equal communication steps, the currency of the paper's latency claims);
+//! in the live runtime a tick is a microsecond of wall-clock time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in logical time, in ticks since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of logical time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Returns the raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Returns the raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for SimDuration {
+    fn from(v: u64) -> Self {
+        SimDuration(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10) + SimDuration(5);
+        assert_eq!(t, SimTime(15));
+        assert_eq!(t - SimTime(10), SimDuration(5));
+        assert_eq!(SimTime(3).since(SimTime(9)), SimDuration::ZERO);
+        let mut u = SimTime::ZERO;
+        u += SimDuration(7);
+        assert_eq!(u.ticks(), 7);
+        assert_eq!((SimDuration(2) + SimDuration(3)).ticks(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration(1) < SimDuration(2));
+    }
+}

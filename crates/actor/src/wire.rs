@@ -1,0 +1,290 @@
+//! A small self-contained binary codec for durable state.
+//!
+//! Acceptors must persist their vote `(vrnd, vval)` and the `MCount`
+//! component of their round (§4.4). Rather than pull a serialization
+//! framework into the dependency tree, this module provides a minimal
+//! length-prefixed little-endian codec with exactly the features the
+//! protocol state needs: integers, booleans, strings, options, vectors,
+//! tuples and user types via the [`Wire`] trait.
+//!
+//! The format is not self-describing; readers must know the type they
+//! expect, which is always true for process-local storage.
+//!
+//! # Example
+//!
+//! ```
+//! use mcpaxos_actor::wire::{from_bytes, to_bytes};
+//!
+//! let v: Vec<(u32, Option<String>)> = vec![(1, None), (2, Some("x".into()))];
+//! let bytes = to_bytes(&v);
+//! let back: Vec<(u32, Option<String>)> = from_bytes(&bytes).unwrap();
+//! assert_eq!(v, back);
+//! ```
+
+use crate::{ProcessId, SimTime};
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description of what failed to decode.
+    pub what: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(what: &'static str) -> WireError {
+    WireError { what }
+}
+
+/// Types that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `input`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if `input` is truncated or malformed.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a `T` from `bytes`, requiring that all bytes are consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncated, malformed, or over-long input.
+pub fn from_bytes<T: Wire>(mut bytes: &[u8]) -> Result<T, WireError> {
+    let v = T::decode(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(err("trailing bytes"));
+    }
+    Ok(v)
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if input.len() < n {
+        return Err(err("truncated input"));
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                let b = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i32, i64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(input)?;
+        usize::try_from(v).map_err(|_| err("usize overflow"))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(err("invalid bool")),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let bytes: Vec<u8> = Wire::decode(input)?;
+        String::from_utf8(bytes).map_err(|_| err("invalid utf-8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let n = u64::decode(input)?;
+        // Guard against absurd lengths in corrupt input without allocating.
+        if n > (input.len() as u64) {
+            return Err(err("length longer than input"));
+        }
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(T::decode(input)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(err("invalid option tag")),
+        }
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl Wire for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ProcessId(u32::decode(input)?))
+    }
+}
+
+impl Wire for SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SimTime(u64::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(0xBEEFu16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(i32::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(12345usize);
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(vec![String::from("a"), String::from("b")]));
+        roundtrip((1u8, 2u32, String::from("x")));
+        roundtrip(vec![(ProcessId(1), SimTime(9)), (ProcessId(2), SimTime(0))]);
+        roundtrip((1u8, 2u8, 3u8, 4u8, 5u8));
+    }
+
+    #[test]
+    fn truncated_input_fails() {
+        let bytes = to_bytes(&0xDEAD_BEEFu32);
+        let r: Result<u32, _> = from_bytes(&bytes[..3]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_fail() {
+        let mut bytes = to_bytes(&1u8);
+        bytes.push(0);
+        let r: Result<u8, _> = from_bytes(&bytes);
+        assert_eq!(r.unwrap_err().what, "trailing bytes");
+    }
+
+    #[test]
+    fn invalid_tags_fail() {
+        let r: Result<bool, _> = from_bytes(&[7]);
+        assert!(r.is_err());
+        let r: Result<Option<u8>, _> = from_bytes(&[9, 0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn corrupt_length_fails_without_allocation() {
+        // Vec length claims u64::MAX elements but provides none.
+        let bytes = to_bytes(&u64::MAX);
+        let r: Result<Vec<u8>, _> = from_bytes(&bytes);
+        assert_eq!(r.unwrap_err().what, "length longer than input");
+    }
+
+    #[test]
+    fn invalid_utf8_fails() {
+        let mut bytes = Vec::new();
+        vec![0xFFu8, 0xFE].encode(&mut bytes);
+        let r: Result<String, _> = from_bytes(&bytes);
+        assert_eq!(r.unwrap_err().what, "invalid utf-8");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e1_latency experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e1_latency().render_text());
+}

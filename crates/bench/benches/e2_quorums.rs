@@ -1,0 +1,4 @@
+//! Regenerates the e2_quorums experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e2_quorums().render_text());
+}

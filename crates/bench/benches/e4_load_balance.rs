@@ -1,0 +1,4 @@
+//! Regenerates the e4_load_balance experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e4_load_balance().render_text());
+}

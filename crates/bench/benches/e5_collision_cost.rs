@@ -1,0 +1,4 @@
+//! Regenerates the e5_collision_cost experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e5_collision_cost().render_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e9_generic_broadcast experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e9_generic_broadcast().render_text());
+}

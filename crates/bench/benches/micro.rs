@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks: c-struct lattice operators, `ProvedSafe`,
+//! simulator event throughput and end-to-end decision rate.
+//!
+//! Run with `cargo bench -p mcpaxos-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcpaxos_actor::SimTime;
+use mcpaxos_bench::ClusterHarness;
+use mcpaxos_core::{
+    proved_safe, DeployConfig, OneB, Policy, QuorumSpec, Round, RoundKind, RTYPE_SINGLE,
+};
+use mcpaxos_cstruct::{CStruct, CmdSet, CommandHistory};
+use mcpaxos_simnet::NetConfig;
+use mcpaxos_smr::{KvCmd, Workload};
+use mcpaxos_actor::ProcessId;
+
+fn histories(n: usize, rho: f64, seed: u64) -> (CommandHistory<KvCmd>, CommandHistory<KvCmd>) {
+    let mut w1 = Workload::new(seed, 0, rho);
+    let mut w2 = Workload::new(seed + 1, 1, rho);
+    let base: Vec<KvCmd> = (0..n / 2).map(|_| w1.next_kv_put()).collect();
+    let mut a: CommandHistory<KvCmd> = base.iter().cloned().collect();
+    let mut b: CommandHistory<KvCmd> = base.into_iter().collect();
+    for _ in 0..n / 2 {
+        a.append(w1.next_kv_put());
+        b.append(w2.next_kv_put());
+    }
+    (a, b)
+}
+
+fn bench_cstruct_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cstruct");
+    for &n in &[16usize, 64, 256] {
+        let (a, b) = histories(n, 0.2, 42);
+        g.bench_function(format!("history_glb_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.glb(&b)))
+        });
+        g.bench_function(format!("history_compatible_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.compatible(&b)))
+        });
+        g.bench_function(format!("history_lub_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.lub(&b)))
+        });
+        let set_a: CmdSet<u32> = (0..n as u32).collect();
+        let set_b: CmdSet<u32> = (n as u32 / 2..2 * n as u32).collect();
+        g.bench_function(format!("cmdset_lub_{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(set_a.lub(&set_b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_proved_safe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proved_safe");
+    for &n in &[5usize, 7, 9] {
+        let spec = QuorumSpec::majority(n).unwrap();
+        let k = Round::new(0, 3, 0, RTYPE_SINGLE);
+        let (h, _) = histories(32, 0.2, 7);
+        let msgs: Vec<OneB<CommandHistory<KvCmd>>> = (0..spec.classic_size())
+            .map(|i| OneB {
+                from: ProcessId(i as u32),
+                vrnd: k,
+                vval: h.clone(),
+            })
+            .collect();
+        g.bench_function(format!("n{n}_classic_quorum"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(proved_safe(&msgs, &spec, |_| RoundKind::Classic))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("multi_100cmds_sim", |bench| {
+        bench.iter_batched(
+            || {
+                let cfg = DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated);
+                let mut h: ClusterHarness<CmdSet<u32>> =
+                    ClusterHarness::new(cfg, 1, NetConfig::lockstep());
+                for i in 0..100u32 {
+                    h.propose_at(SimTime(100 + 10 * u64::from(i)), 0, i);
+                }
+                h
+            },
+            |mut h| {
+                h.run_until(3_000);
+                assert_eq!(h.learned(0).count(), 100);
+                h
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cstruct_ops, bench_proved_safe, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Reusable cluster harness for experiments: deploy, drive, measure.
+
+use mcpaxos_actor::{ProcessId, SimTime, StableStore};
+use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Proposer};
+use mcpaxos_cstruct::CStruct;
+use mcpaxos_simnet::{NetConfig, Sim};
+use std::sync::Arc;
+
+/// The pseudo-client id used for injected proposals.
+pub const CLIENT: ProcessId = ProcessId(9_999);
+
+/// A deployed cluster plus measurement bookkeeping.
+pub struct ClusterHarness<C: CStruct> {
+    /// The deployment configuration.
+    pub cfg: Arc<DeployConfig>,
+    /// The simulator hosting the cluster.
+    pub sim: Sim<Msg<C>>,
+    injected: Vec<SimTime>,
+}
+
+impl<C: CStruct> ClusterHarness<C> {
+    /// Deploys every role of `cfg` into a fresh simulator.
+    pub fn new(cfg: DeployConfig, seed: u64, net: NetConfig) -> Self {
+        cfg.validate().expect("invalid deployment config");
+        let cfg = Arc::new(cfg);
+        let mut sim: Sim<Msg<C>> = Sim::new(seed, net);
+        for &p in cfg.roles.proposers() {
+            let cfg = cfg.clone();
+            sim.add_process(p, move || Box::new(Proposer::<C>::new(cfg.clone())));
+        }
+        for &p in cfg.roles.coordinators() {
+            let cfg = cfg.clone();
+            sim.add_process(p, move || Box::new(Coordinator::<C>::new(cfg.clone(), p)));
+        }
+        for &p in cfg.roles.acceptors() {
+            let cfg = cfg.clone();
+            sim.add_process(p, move || Box::new(Acceptor::<C>::new(cfg.clone())));
+        }
+        for &p in cfg.roles.learners() {
+            let cfg = cfg.clone();
+            sim.add_process(p, move || Box::new(Learner::<C>::new(cfg.clone())));
+        }
+        ClusterHarness {
+            cfg,
+            sim,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Injects `cmd` at the `idx`-th proposer at time `t`, recording the
+    /// injection for latency accounting.
+    pub fn propose_at(&mut self, t: SimTime, idx: usize, cmd: C::Cmd) {
+        let p = self.cfg.roles.proposers()[idx % self.cfg.roles.proposers().len()];
+        self.injected.push(t);
+        self.sim.inject_at(
+            t,
+            p,
+            CLIENT,
+            Msg::Propose {
+                cmd,
+                acc_quorum: None,
+            },
+        );
+    }
+
+    /// Runs the simulation to time `t`.
+    pub fn run_until(&mut self, t: u64) {
+        self.sim.run_until(SimTime(t));
+    }
+
+    /// Runs in 25-tick increments until learner `idx` holds at least
+    /// `count` commands or `max_t` is reached; returns the stop time.
+    pub fn run_until_learned(&mut self, idx: usize, count: usize, max_t: u64) -> u64 {
+        let mut t = self.sim.now().ticks();
+        while t < max_t {
+            if self.learned(idx).count() >= count {
+                break;
+            }
+            t = (t + 25).min(max_t);
+            self.sim.run_until(SimTime(t));
+        }
+        t
+    }
+
+    /// The learned c-struct of learner `idx`.
+    pub fn learned(&self, idx: usize) -> C {
+        let l = self.cfg.roles.learners()[idx];
+        self.sim
+            .actor::<Learner<C>>(l)
+            .expect("learner exists")
+            .learned()
+            .clone()
+    }
+
+    /// Per-command latencies in ticks at learner `idx`: the k-th latency
+    /// is the time the learner first held ≥ k+1 commands minus the k-th
+    /// injection time (injections sorted by time). `None` for commands
+    /// never learned.
+    pub fn latencies(&self, idx: usize) -> Vec<Option<u64>> {
+        let l = self.cfg.roles.learners()[idx];
+        let history = self
+            .sim
+            .actor::<Learner<C>>(l)
+            .expect("learner exists")
+            .history()
+            .to_vec();
+        let mut inj = self.injected.clone();
+        inj.sort_unstable();
+        inj.iter()
+            .enumerate()
+            .map(|(k, &t_inj)| {
+                history
+                    .iter()
+                    .find(|(_, n)| *n >= k + 1)
+                    .map(|(t, _)| t.since(t_inj).ticks())
+            })
+            .collect()
+    }
+
+    /// Mean of the learned latencies at learner `idx` (ignoring losses).
+    pub fn mean_latency(&self, idx: usize) -> f64 {
+        let ls: Vec<u64> = self.latencies(idx).into_iter().flatten().collect();
+        if ls.is_empty() {
+            return f64::NAN;
+        }
+        ls.iter().sum::<u64>() as f64 / ls.len() as f64
+    }
+
+    /// Maximum learned latency at learner `idx` (the stall indicator).
+    pub fn max_latency(&self, idx: usize) -> u64 {
+        self.latencies(idx).into_iter().flatten().max().unwrap_or(0)
+    }
+
+    /// Total of a metric across processes.
+    pub fn metric_total(&self, name: &str) -> i64 {
+        self.sim.metrics().total(name)
+    }
+
+    /// Metric value per process, for the given role subset.
+    pub fn metric_per(&self, name: &str, procs: &[ProcessId]) -> Vec<i64> {
+        procs
+            .iter()
+            .map(|&p| self.sim.metrics().of(p, name))
+            .collect()
+    }
+
+    /// Stable-storage write counts of every acceptor.
+    pub fn acceptor_writes(&self) -> Vec<u64> {
+        self.cfg
+            .roles
+            .acceptors()
+            .iter()
+            .map(|&a| self.sim.storage(a).map(|s| s.write_count()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Stable-storage write counts of every coordinator.
+    pub fn coordinator_writes(&self) -> Vec<u64> {
+        self.cfg
+            .roles
+            .coordinators()
+            .iter()
+            .map(|&c| self.sim.storage(c).map(|s| s.write_count()).unwrap_or(0))
+            .collect()
+    }
+
+    /// Number of commands injected so far.
+    pub fn injected_count(&self) -> usize {
+        self.injected.len()
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_core::Policy;
+    use mcpaxos_cstruct::CmdSet;
+
+    #[test]
+    fn harness_measures_latency() {
+        let cfg = DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated);
+        let mut h: ClusterHarness<CmdSet<u32>> =
+            ClusterHarness::new(cfg, 1, NetConfig::lockstep());
+        h.propose_at(SimTime(100), 0, 7);
+        h.run_until(500);
+        assert_eq!(h.latencies(0), vec![Some(3)]);
+        assert_eq!(h.mean_latency(0), 3.0);
+        assert_eq!(h.max_latency(0), 3);
+        assert_eq!(h.learned(0).count(), 1);
+        assert!(h.metric_total("accepts") > 0);
+        assert_eq!(h.acceptor_writes().len(), 5);
+        assert_eq!(h.injected_count(), 1);
+    }
+}

@@ -1,0 +1,688 @@
+//! The coordinator agent.
+//!
+//! Coordinators implement `Phase1a`, `Phase2Start` and `Phase2aClassic` of
+//! §3.2, plus the liveness machinery of §4.3: heartbeat-based leader
+//! election, stall detection, reaction to `RoundTooLow` nacks, and the
+//! collision-recovery variants of §4.2 (observing "2b" traffic to detect
+//! fast-round collisions, reusing it as "1b" evidence for the successor
+//! round under coordinated recovery).
+//!
+//! Durability (§4.4): a coordinator performs **no disk writes per
+//! command**. It persists only the id of each round it engages in (one
+//! small write per round change); after a crash it refuses to act in
+//! rounds at or below the persisted floor, which realises the paper's
+//! "recovered coordinator is a new coordinator" (incarnation) argument
+//! while keeping `Phase2Start` once-per-round.
+
+use crate::agents::{metrics, TOK_TICK};
+use crate::config::{CollisionPolicy, DeployConfig};
+use crate::msg::Msg;
+use crate::provedsafe::{pick, proved_safe, OneB};
+use crate::round::Round;
+use crate::schedule::RoundKind;
+use mcpaxos_actor::wire::{from_bytes, to_bytes};
+use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
+use mcpaxos_cstruct::{glb_all, CStruct};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Storage key for the round floor (see module docs).
+const KEY_FLOOR: &str = "crnd";
+
+/// Rounds of bookkeeping kept before pruning.
+const ROUND_WINDOW: usize = 8;
+
+/// The coordinator role.
+pub struct Coordinator<C: CStruct> {
+    cfg: Arc<DeployConfig>,
+    me: ProcessId,
+    me_idx: u16,
+    crnd: Round,
+    cval: Option<C>,
+    /// Persisted barrier: never act in rounds ≤ floor after recovery.
+    floor: Round,
+    round_1b: BTreeMap<Round, BTreeMap<ProcessId, OneB<C>>>,
+    round_2b: BTreeMap<Round, BTreeMap<ProcessId, C>>,
+    collided: BTreeSet<Round>,
+    /// Recovery rounds whose "1a" we already echoed to acceptors.
+    echoed_1a: BTreeSet<Round>,
+    /// Last time collision evidence was seen (drives the §4.2 backoff to
+    /// single-coordinated rounds).
+    last_collision: Option<SimTime>,
+    /// Proposals awaiting a round to carry them.
+    backlog: Vec<C::Cmd>,
+    /// Proposals not yet observed accepted by an acceptor quorum.
+    outstanding: Vec<C::Cmd>,
+    /// Last heartbeat received, per coordinator.
+    alive: BTreeMap<ProcessId, SimTime>,
+    max_heard: Round,
+    last_progress: SimTime,
+}
+
+impl<C: CStruct> Coordinator<C> {
+    /// Creates the coordinator with identity `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a coordinator in the deployment's role map.
+    pub fn new(cfg: Arc<DeployConfig>, me: ProcessId) -> Self {
+        let me_idx = cfg
+            .roles
+            .coordinators()
+            .iter()
+            .position(|&c| c == me)
+            .expect("process is not a coordinator in this deployment") as u16;
+        Coordinator {
+            cfg,
+            me,
+            me_idx,
+            crnd: Round::ZERO,
+            cval: None,
+            floor: Round::ZERO,
+            round_1b: BTreeMap::new(),
+            round_2b: BTreeMap::new(),
+            collided: BTreeSet::new(),
+            echoed_1a: BTreeSet::new(),
+            last_collision: None,
+            backlog: Vec::new(),
+            outstanding: Vec::new(),
+            alive: BTreeMap::new(),
+            max_heard: Round::ZERO,
+            last_progress: SimTime::ZERO,
+        }
+    }
+
+    /// The coordinator's current round.
+    pub fn crnd(&self) -> Round {
+        self.crnd
+    }
+
+    /// The latest c-struct sent in a phase "2a" for the current round.
+    pub fn cval(&self) -> Option<&C> {
+        self.cval.as_ref()
+    }
+
+    /// Whether this coordinator currently believes itself leader.
+    pub fn believes_leader(&self, now: SimTime) -> bool {
+        self.leader(now) == self.me
+    }
+
+    fn leader(&self, now: SimTime) -> ProcessId {
+        let timeout = self.cfg.timing.leader_timeout;
+        *self
+            .cfg
+            .roles
+            .coordinators()
+            .iter()
+            .find(|&&c| {
+                c == self.me
+                    || self
+                        .alive
+                        .get(&c)
+                        .map(|&t| now.since(t) <= timeout)
+                        .unwrap_or(false)
+            })
+            .unwrap_or(&self.me)
+    }
+
+    /// Fresh-round type, honouring the §4.2 collision backoff: while a
+    /// recent collision is in memory, new rounds are single-coordinated.
+    fn fresh_round(&self, heard: Round, now: SimTime) -> Round {
+        let backing_off = self
+            .last_collision
+            .map(|t| now.since(t) <= self.cfg.timing.collision_backoff)
+            .unwrap_or(false);
+        let r = self.cfg.schedule.preempt(heard, self.me_idx);
+        if backing_off {
+            r.with_rtype(crate::schedule::RTYPE_SINGLE)
+        } else {
+            r
+        }
+    }
+
+    fn note_heard(&mut self, r: Round) {
+        if r > self.max_heard {
+            self.max_heard = r;
+        }
+    }
+
+    fn prune(&mut self) {
+        while self.round_1b.len() > ROUND_WINDOW {
+            let lowest = *self.round_1b.keys().next().expect("non-empty");
+            self.round_1b.remove(&lowest);
+        }
+        while self.round_2b.len() > ROUND_WINDOW {
+            let lowest = *self.round_2b.keys().next().expect("non-empty");
+            self.round_2b.remove(&lowest);
+        }
+    }
+
+    /// `Phase1a`: start round `r` by asking acceptors to join.
+    fn start_round(&mut self, r: Round, ctx: &mut dyn Context<Msg<C>>) {
+        if r <= self.crnd || r <= self.floor {
+            return;
+        }
+        self.persist_floor(r, ctx);
+        self.crnd = r;
+        self.cval = None;
+        self.note_heard(r);
+        self.last_progress = ctx.now();
+        ctx.metric(Metric::incr(metrics::ROUNDS_STARTED));
+        let acceptors = self.cfg.roles.acceptors().to_vec();
+        ctx.multicast(&acceptors, Msg::P1a { round: r });
+    }
+
+    fn persist_floor(&mut self, r: Round, ctx: &mut dyn Context<Msg<C>>) {
+        if r > self.floor {
+            self.floor = r;
+            ctx.storage().write(KEY_FLOOR, to_bytes(&r));
+        }
+    }
+
+    /// `Phase2Start`: once a classic quorum of "1b" messages for `round`
+    /// arrived and we may still engage in it, pick a safe value and send
+    /// the first "2a".
+    fn try_phase2start(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+        let enabled = (self.crnd == round && self.cval.is_none())
+            || (round > self.crnd && round > self.floor);
+        if !enabled || !self.cfg.schedule.is_coordinator_of(self.me, round) {
+            return;
+        }
+        let msgs: Vec<OneB<C>> = match self.round_1b.get(&round) {
+            Some(m) if m.len() >= self.cfg.quorums.classic_size() => {
+                m.values().cloned().collect()
+            }
+            _ => return,
+        };
+        let sched = self.cfg.schedule.clone();
+        let w = pick(proved_safe(&msgs, &self.cfg.quorums, |r| sched.kind(r)));
+        let mut val = w;
+        for cmd in self.backlog.drain(..) {
+            val.append(cmd);
+        }
+        // Also re-seed commands still in flight (proposed but not yet
+        // observed chosen): a recovery round would otherwise start empty
+        // and wait one proposer-retransmission period for its payload.
+        for cmd in &self.outstanding {
+            val.append(cmd.clone());
+        }
+        self.persist_floor(round, ctx);
+        self.crnd = round;
+        self.cval = Some(val.clone());
+        self.note_heard(round);
+        self.last_progress = ctx.now();
+        ctx.metric(Metric::incr(metrics::PHASE2_STARTS));
+        let acceptors = self.cfg.roles.acceptors().to_vec();
+        ctx.multicast(&acceptors, Msg::P2a { round, val });
+    }
+
+    /// `Phase2aClassic`: extend the current value with a proposal and
+    /// forward it.
+    fn phase2a_classic(
+        &mut self,
+        cmd: C::Cmd,
+        acc_quorum: Option<Vec<ProcessId>>,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) {
+        let val = match &mut self.cval {
+            Some(v) => {
+                v.append(cmd);
+                v.clone()
+            }
+            None => return,
+        };
+        ctx.metric(Metric::incr(metrics::PHASE2A));
+        let targets = acc_quorum.unwrap_or_else(|| self.cfg.roles.acceptors().to_vec());
+        ctx.multicast(
+            &targets,
+            Msg::P2a {
+                round: self.crnd,
+                val,
+            },
+        );
+    }
+
+    /// Observes "2b" traffic: progress tracking plus fast-collision
+    /// detection and recovery (§4.2).
+    fn observe_2b(&mut self, from: ProcessId, round: Round, val: C, ctx: &mut dyn Context<Msg<C>>) {
+        let entry = self.round_2b.entry(round).or_default();
+        let grew = match entry.get(&from) {
+            Some(prev) => val.count() > prev.count(),
+            None => true,
+        };
+        entry.insert(from, val);
+        if grew {
+            self.last_progress = ctx.now();
+        }
+        // Outstanding bookkeeping: a command accepted by an acceptor
+        // quorum no longer needs a new round to make progress.
+        let kind = self.cfg.schedule.kind(round);
+        let entry = self.round_2b.get(&round).expect("just inserted");
+        if entry.len() >= self.cfg.quorums.size_for(kind) && !self.outstanding.is_empty() {
+            let g = glb_all(entry.values().cloned());
+            // A command is served when the chosen value contains it — or
+            // *absorbs* it (appending changes nothing): with consensus
+            // c-structs a losing proposal can never be added once a value
+            // is decided, so it must not keep the stall detector armed.
+            self.outstanding
+                .retain(|c| !g.contains(c) && g.appended(c) != g);
+        }
+        // Fast-round collision detection.
+        if kind == RoundKind::Fast {
+            if !self.collided.contains(&round) {
+                let entry = self.round_2b.get(&round).expect("just inserted");
+                let vals: Vec<&C> = entry.values().collect();
+                let mut incompatible = false;
+                'outer: for (i, a) in vals.iter().enumerate() {
+                    for b in &vals[i + 1..] {
+                        if !a.compatible(b) {
+                            incompatible = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if incompatible {
+                    self.collided.insert(round);
+                    self.last_collision = Some(ctx.now());
+                    ctx.metric(Metric::incr(metrics::COLLISION_FAST));
+                }
+            }
+            // Run recovery on every report of a collided round, so "2b"s
+            // arriving after detection still feed the successor's phase 1
+            // evidence (coordinated recovery needs a full classic quorum).
+            if self.collided.contains(&round) {
+                self.recover_fast_collision(round, ctx);
+            }
+        }
+        self.prune();
+    }
+
+    fn recover_fast_collision(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+        match self.cfg.collision {
+            CollisionPolicy::NewRound => {
+                // Restart once per collided round: if we already moved past
+                // it, the new round is in flight.
+                if self.crnd <= round && self.believes_leader(ctx.now()) {
+                    let r = self.fresh_round(self.max_heard.max(round), ctx.now());
+                    self.start_round(r, ctx);
+                }
+            }
+            CollisionPolicy::Coordinated | CollisionPolicy::Uncoordinated => {
+                // Acceptor-driven: acceptors detect the collision through
+                // gossiped "2b"s and issue binding "1b" promises for the
+                // successor round (to this coordinator under Coordinated,
+                // among themselves under Uncoordinated). Converting our
+                // "2b" snapshots into "1b" evidence here would be unsound:
+                // they are not the senders' final word for the round.
+            }
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        // Heartbeats to fellow coordinators.
+        let me = self.me;
+        let peers: Vec<ProcessId> = self
+            .cfg
+            .roles
+            .coordinators()
+            .iter()
+            .copied()
+            .filter(|&c| c != me)
+            .collect();
+        ctx.multicast(&peers, Msg::Heartbeat);
+        // Leadership duties.
+        let now = ctx.now();
+        if self.leader(now) != self.me {
+            return;
+        }
+        if self.crnd.is_zero() && self.max_heard.is_zero() {
+            let r = self.cfg.schedule.initial(self.me_idx, self.floor.major);
+            self.start_round(r, ctx);
+            return;
+        }
+        if self.crnd.is_zero() || self.crnd < self.max_heard {
+            // Recovered or preempted: claim a fresh higher round.
+            let r = self.fresh_round(self.max_heard, now);
+            self.start_round(r, ctx);
+            return;
+        }
+        // Stall: pending work but no acceptor progress for a while.
+        if !self.outstanding.is_empty()
+            && now.since(self.last_progress) > self.cfg.timing.stall_timeout
+        {
+            let base = self.max_heard.max(self.crnd);
+            let r = self.fresh_round(base, now);
+            self.start_round(r, ctx);
+        }
+    }
+}
+
+impl<C: CStruct> Actor for Coordinator<C> {
+    type Msg = Msg<C>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        // Optimistic initial view: everyone alive. The lowest-id
+        // coordinator acts as first leader; others take over only after a
+        // real timeout.
+        let now = ctx.now();
+        for &c in self.cfg.roles.coordinators() {
+            self.alive.insert(c, now);
+        }
+        self.last_progress = now;
+        ctx.set_timer(self.cfg.timing.heartbeat_every, TOK_TICK);
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if let Some(bytes) = ctx.storage().read(KEY_FLOOR) {
+            self.floor = from_bytes(bytes).expect("corrupt coordinator floor");
+        }
+        // crnd stays ZERO: we no longer coordinate the pre-crash round.
+        // But bootstrap max_heard to the floor, or a recovered leader
+        // would keep proposing rounds below its own floor forever.
+        self.max_heard = self.floor;
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
+        match msg {
+            Msg::Propose { cmd, acc_quorum } => {
+                if !self.outstanding.contains(&cmd) {
+                    if self.outstanding.is_empty() {
+                        self.last_progress = ctx.now();
+                    }
+                    self.outstanding.push(cmd.clone());
+                }
+                let classic_active = self.cval.is_some()
+                    && self.cfg.schedule.kind(self.crnd) == RoundKind::Classic;
+                if classic_active {
+                    self.phase2a_classic(cmd, acc_quorum, ctx);
+                } else if !self.backlog.contains(&cmd) {
+                    self.backlog.push(cmd);
+                }
+            }
+            Msg::P1b { round, vrnd, vval } => {
+                self.note_heard(round);
+                // An unsolicited "1b" for a single-coordinated round we
+                // coordinate is collision-recovery evidence (§4.2): note
+                // the collision for the round-type backoff, and echo the
+                // implicit "1a" so acceptors that did not observe the
+                // collision themselves join the recovery round too.
+                if round > self.crnd
+                    && round.rtype == crate::schedule::RTYPE_SINGLE
+                    && self.cfg.schedule.is_coordinator_of(self.me, round)
+                {
+                    self.last_collision = Some(ctx.now());
+                    if round > self.floor && self.echoed_1a.insert(round) {
+                        let acceptors = self.cfg.roles.acceptors().to_vec();
+                        ctx.multicast(&acceptors, Msg::P1a { round });
+                        while self.echoed_1a.len() > ROUND_WINDOW {
+                            let lowest = *self.echoed_1a.iter().next().expect("non-empty");
+                            self.echoed_1a.remove(&lowest);
+                        }
+                    }
+                }
+                self.round_1b.entry(round).or_default().insert(
+                    from,
+                    OneB {
+                        from,
+                        vrnd,
+                        vval,
+                    },
+                );
+                self.prune();
+                self.try_phase2start(round, ctx);
+            }
+            Msg::P2b { round, val } => {
+                self.note_heard(round);
+                self.observe_2b(from, round, val, ctx);
+            }
+            Msg::RoundTooLow { heard } => {
+                self.note_heard(heard);
+                if self.believes_leader(ctx.now()) && heard >= self.crnd {
+                    let r = self.fresh_round(self.max_heard, ctx.now());
+                    self.start_round(r, ctx);
+                }
+            }
+            Msg::Heartbeat => {
+                self.alive.insert(from, ctx.now());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Msg<C>>) {
+        if token == TOK_TICK {
+            self.tick(ctx);
+            ctx.set_timer(self.cfg.timing.heartbeat_every, TOK_TICK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Policy, RTYPE_MULTI};
+    use mcpaxos_actor::{MemStore, SimDuration, StableStore};
+    use mcpaxos_cstruct::CmdSet;
+
+    type C = CmdSet<u32>;
+
+    struct Ctx {
+        me: ProcessId,
+        now: SimTime,
+        sent: Vec<(ProcessId, Msg<C>)>,
+        store: MemStore,
+    }
+
+    impl Context<Msg<C>> for Ctx {
+        fn me(&self) -> ProcessId {
+            self.me
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: ProcessId, msg: Msg<C>) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+        fn cancel_timer(&mut self, _t: TimerToken) {}
+        fn storage(&mut self) -> &mut dyn StableStore {
+            &mut self.store
+        }
+        fn metric(&mut self, _m: Metric) {}
+        fn random(&mut self) -> u64 {
+            0
+        }
+    }
+
+    fn cfg() -> Arc<DeployConfig> {
+        // p0 | c1 c2 c3 | a4..a8 | l9
+        Arc::new(DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated))
+    }
+
+    fn ctx_for(me: u32) -> Ctx {
+        Ctx {
+            me: ProcessId(me),
+            now: SimTime(100),
+            sent: vec![],
+            store: MemStore::new(),
+        }
+    }
+
+    fn onb_msg(round: Round) -> Msg<C> {
+        Msg::P1b {
+            round,
+            vrnd: Round::ZERO,
+            vval: C::bottom(),
+        }
+    }
+
+    #[test]
+    fn lowest_id_coordinator_starts_the_first_round() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg.clone(), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_timer(TOK_TICK, &mut cx);
+        let p1as: Vec<_> = cx
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::P1a { .. }))
+            .collect();
+        assert_eq!(p1as.len(), 5, "1a to every acceptor");
+        assert_eq!(c1.crnd().rtype, RTYPE_MULTI);
+
+        // A non-lowest coordinator does not start rounds while c1 alive.
+        let mut c2: Coordinator<C> = Coordinator::new(cfg, ProcessId(2));
+        let mut cx2 = ctx_for(2);
+        c2.on_start(&mut cx2);
+        c2.on_timer(TOK_TICK, &mut cx2);
+        assert!(!cx2.sent.iter().any(|(_, m)| matches!(m, Msg::P1a { .. })));
+        assert!(cx2
+            .sent
+            .iter()
+            .any(|(_, m)| matches!(m, Msg::Heartbeat)));
+    }
+
+    #[test]
+    fn phase2start_after_classic_quorum_of_1b() {
+        let cfg = cfg();
+        let mut c2: Coordinator<C> = Coordinator::new(cfg.clone(), ProcessId(2));
+        let mut cx = ctx_for(2);
+        c2.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        // 1b from acceptors a4, a5: not a quorum of 5 yet (need 3).
+        c2.on_message(ProcessId(4), onb_msg(r), &mut cx);
+        c2.on_message(ProcessId(5), onb_msg(r), &mut cx);
+        assert!(c2.cval().is_none());
+        c2.on_message(ProcessId(6), onb_msg(r), &mut cx);
+        assert!(c2.cval().is_some(), "non-owner quorum member also starts");
+        assert_eq!(c2.crnd(), r);
+        let p2as = cx
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::P2a { .. }))
+            .count();
+        assert_eq!(p2as, 5);
+    }
+
+    #[test]
+    fn proposals_extend_cval_and_are_forwarded() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        cx.sent.clear();
+        c1.on_message(
+            ProcessId(0),
+            Msg::Propose {
+                cmd: 7,
+                acc_quorum: None,
+            },
+            &mut cx,
+        );
+        let vals: Vec<&C> = cx
+            .sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::P2a { val, .. } => Some(val),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals.len(), 5);
+        assert!(vals[0].contains(&7));
+        // Load-balanced proposal goes only to the pinned acceptors.
+        cx.sent.clear();
+        c1.on_message(
+            ProcessId(0),
+            Msg::Propose {
+                cmd: 8,
+                acc_quorum: Some(vec![ProcessId(4), ProcessId(5), ProcessId(6)]),
+            },
+            &mut cx,
+        );
+        assert_eq!(cx.sent.len(), 3);
+    }
+
+    #[test]
+    fn proposals_before_round_go_to_backlog_then_ride_phase2start() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_message(
+            ProcessId(0),
+            Msg::Propose {
+                cmd: 42,
+                acc_quorum: None,
+            },
+            &mut cx,
+        );
+        assert!(c1.cval().is_none());
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        assert!(c1.cval().unwrap().contains(&42));
+    }
+
+    #[test]
+    fn nack_makes_leader_start_higher_round() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_timer(TOK_TICK, &mut cx); // starts r(0,1,me)
+        let started = c1.crnd();
+        let heard = Round::new(0, 5, 2, RTYPE_MULTI);
+        c1.on_message(ProcessId(4), Msg::RoundTooLow { heard }, &mut cx);
+        assert!(c1.crnd() > heard);
+        assert!(c1.crnd() > started);
+    }
+
+    #[test]
+    fn floor_survives_recovery_and_blocks_old_rounds() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg.clone(), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_timer(TOK_TICK, &mut cx);
+        let r = c1.crnd();
+        // Crash, recover over the same store.
+        let mut c1b: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        c1b.on_recover(&mut cx);
+        assert_eq!(c1b.crnd(), Round::ZERO);
+        // 1b quorum for the pre-crash round must NOT re-trigger
+        // Phase2Start (the floor blocks it).
+        for a in 4..=6 {
+            c1b.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        assert!(c1b.cval().is_none(), "floor must block round {r:?}");
+    }
+
+    #[test]
+    fn stall_triggers_new_round() {
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg.clone(), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_timer(TOK_TICK, &mut cx);
+        let first = c1.crnd();
+        c1.on_message(
+            ProcessId(0),
+            Msg::Propose {
+                cmd: 9,
+                acc_quorum: None,
+            },
+            &mut cx,
+        );
+        // No 2b progress past the stall timeout.
+        cx.now = SimTime(100 + 1 + cfg.timing.stall_timeout.ticks() + 1);
+        c1.on_timer(TOK_TICK, &mut cx);
+        assert!(c1.crnd() > first, "stalled leader must start a new round");
+    }
+}

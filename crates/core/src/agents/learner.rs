@@ -1,0 +1,273 @@
+//! The learner agent.
+//!
+//! A learner collects phase "2b" messages; when an acceptor quorum for a
+//! round has reported, the glb of the quorum's values is *chosen* and the
+//! learner extends `learned[l]` with it (action `Learn(l)` of §3.2).
+//!
+//! Because different quorums may be completed by different subsets of the
+//! received reports, the learner enumerates quorum-sized subsets of the
+//! reporting acceptors and takes the lub of their glbs — every such glb is
+//! chosen, and by Proposition 1 the chosen set is compatible, so the lub
+//! exists (a failure here is a hard safety-violation signal, valuable in
+//! tests).
+
+use crate::agents::metrics;
+use crate::config::DeployConfig;
+use crate::msg::Msg;
+use crate::quorum::{combination_count, for_each_combination};
+use crate::round::Round;
+use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
+use mcpaxos_cstruct::{glb_all, CStruct};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Rounds kept live for quorum completion; older rounds are pruned.
+const ROUND_WINDOW: usize = 8;
+/// Above this many quorum subsets, fall back to one conservative glb.
+const MAX_QUORUM_ENUM: u64 = 5_000;
+
+/// The learner role.
+pub struct Learner<C: CStruct> {
+    cfg: Arc<DeployConfig>,
+    learned: C,
+    rounds: BTreeMap<Round, BTreeMap<ProcessId, C>>,
+    notified: Vec<C::Cmd>,
+    history: Vec<(SimTime, usize)>,
+}
+
+impl<C: CStruct> Learner<C> {
+    /// Creates a learner for the given deployment.
+    pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        Learner {
+            cfg,
+            learned: C::bottom(),
+            rounds: BTreeMap::new(),
+            notified: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The c-struct learned so far.
+    pub fn learned(&self) -> &C {
+        &self.learned
+    }
+
+    /// `(time, learned-command-count)` pairs recorded whenever the learned
+    /// value grew; the raw data for the latency experiments.
+    pub fn history(&self) -> &[(SimTime, usize)] {
+        &self.history
+    }
+
+    fn try_learn(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+        let kind = self.cfg.schedule.kind(round);
+        let qsize = self.cfg.quorums.size_for(kind);
+        let reports = match self.rounds.get(&round) {
+            Some(r) if r.len() >= qsize => r,
+            _ => return,
+        };
+        let vals: Vec<&C> = reports.values().collect();
+        let mut grew = false;
+        let absorb = |g: C, learned: &mut C| {
+            let merged = learned.lub(&g).unwrap_or_else(|| {
+                panic!(
+                    "CONSISTENCY VIOLATION: learned value incompatible with chosen value \
+                     at {round:?}: learned={learned:?} chosen={g:?}"
+                )
+            });
+            if merged != *learned {
+                *learned = merged;
+                true
+            } else {
+                false
+            }
+        };
+        if combination_count(vals.len(), qsize) <= MAX_QUORUM_ENUM {
+            let mut glbs: Vec<C> = Vec::new();
+            for_each_combination(vals.len(), qsize, |idx| {
+                glbs.push(glb_all(idx.iter().map(|&i| vals[i].clone())));
+                true
+            });
+            for g in glbs {
+                grew |= absorb(g, &mut self.learned);
+            }
+        } else {
+            // Conservative: the glb over all reports is a lower bound of
+            // every quorum's glb, hence also chosen.
+            let g = glb_all(vals.into_iter().cloned());
+            grew |= absorb(g, &mut self.learned);
+        }
+        if grew {
+            let count = self.learned.count();
+            self.history.push((ctx.now(), count));
+            ctx.metric(Metric::add(metrics::LEARNED, count as i64));
+            if self.cfg.notify_learned {
+                let new: Vec<C::Cmd> = self
+                    .learned
+                    .commands()
+                    .into_iter()
+                    .filter(|c| !self.notified.contains(c))
+                    .collect();
+                if !new.is_empty() {
+                    self.notified.extend(new.iter().cloned());
+                    let proposers = self.cfg.roles.proposers().to_vec();
+                    ctx.multicast(&proposers, Msg::Learned { cmds: new });
+                }
+            }
+        }
+    }
+
+    fn prune(&mut self) {
+        while self.rounds.len() > ROUND_WINDOW {
+            let lowest = *self.rounds.keys().next().expect("non-empty");
+            self.rounds.remove(&lowest);
+        }
+    }
+}
+
+impl<C: CStruct> Actor for Learner<C> {
+    type Msg = Msg<C>;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
+        if let Msg::P2b { round, val } = msg {
+            self.rounds.entry(round).or_default().insert(from, val);
+            self.prune();
+            self.try_learn(round, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Msg<C>>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Policy, RTYPE_MULTI};
+    use mcpaxos_actor::{MemStore, SimDuration, StableStore};
+    use mcpaxos_cstruct::{CmdSet, SingleDecree};
+
+    struct Ctx {
+        sent: Vec<(ProcessId, Msg<CmdSet<u32>>)>,
+        store: MemStore,
+        now: SimTime,
+    }
+
+    impl Context<Msg<CmdSet<u32>>> for Ctx {
+        fn me(&self) -> ProcessId {
+            ProcessId(42)
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: ProcessId, msg: Msg<CmdSet<u32>>) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _after: SimDuration, _token: TimerToken) {}
+        fn cancel_timer(&mut self, _token: TimerToken) {}
+        fn storage(&mut self) -> &mut dyn StableStore {
+            &mut self.store
+        }
+        fn metric(&mut self, _m: Metric) {}
+        fn random(&mut self) -> u64 {
+            0
+        }
+    }
+
+    fn mk(v: &[u32]) -> CmdSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn learns_glb_of_quorum() {
+        // 3 acceptors (ids 4,5,6 in disjoint layout 1/3/3/1), majority 2.
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 3, 1, Policy::MultiCoordinated));
+        let mut l: Learner<CmdSet<u32>> = Learner::new(cfg);
+        let mut c = Ctx {
+            sent: vec![],
+            store: MemStore::new(),
+            now: SimTime(5),
+        };
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        let acc = |i: u32| ProcessId(3 + i);
+        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[1, 2]) }, &mut c);
+        assert!(l.learned().is_bottom(), "one report is not a quorum");
+        l.on_message(acc(2), Msg::P2b { round: r, val: mk(&[2, 3]) }, &mut c);
+        // glb({1,2},{2,3}) = {2} chosen.
+        assert_eq!(l.learned(), &mk(&[2]));
+        // Third report: quorums {a1,a3}, {a2,a3}, {a1,a2} → lub of glbs.
+        l.on_message(acc(3), Msg::P2b { round: r, val: mk(&[1, 2, 3]) }, &mut c);
+        assert_eq!(l.learned(), &mk(&[1, 2, 3]));
+        assert_eq!(l.history().len(), 2);
+        assert_eq!(l.history()[0], (SimTime(5), 1));
+    }
+
+    #[test]
+    fn notifies_proposers_once_per_command() {
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 3, 1, Policy::MultiCoordinated));
+        let mut l: Learner<CmdSet<u32>> = Learner::new(cfg);
+        let mut c = Ctx {
+            sent: vec![],
+            store: MemStore::new(),
+            now: SimTime(1),
+        };
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        let acc = |i: u32| ProcessId(3 + i);
+        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
+        l.on_message(acc(2), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
+        let notif: Vec<_> = c
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Learned { .. }))
+            .collect();
+        assert_eq!(notif.len(), 1, "one proposer, one notification");
+        // Re-delivery does not re-notify.
+        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
+        let notif2 = c
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::Learned { .. }))
+            .count();
+        assert_eq!(notif2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONSISTENCY VIOLATION")]
+    fn incompatible_chosen_values_panic() {
+        // Force the impossible: two quorums choosing incompatible values
+        // (single-decree consensus with different decisions). The learner
+        // must detect and loudly fail.
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 3, 1, Policy::MultiCoordinated));
+        let mut l: Learner<SingleDecree<u32>> = Learner::new(cfg);
+        struct C2 {
+            store: MemStore,
+        }
+        impl Context<Msg<SingleDecree<u32>>> for C2 {
+            fn me(&self) -> ProcessId {
+                ProcessId(42)
+            }
+            fn now(&self) -> SimTime {
+                SimTime::ZERO
+            }
+            fn send(&mut self, _to: ProcessId, _m: Msg<SingleDecree<u32>>) {}
+            fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+            fn cancel_timer(&mut self, _t: TimerToken) {}
+            fn storage(&mut self) -> &mut dyn StableStore {
+                &mut self.store
+            }
+            fn metric(&mut self, _m: Metric) {}
+            fn random(&mut self) -> u64 {
+                0
+            }
+        }
+        let mut c = C2 {
+            store: MemStore::new(),
+        };
+        let r1 = Round::new(0, 1, 0, RTYPE_MULTI);
+        let r2 = Round::new(0, 2, 0, RTYPE_MULTI);
+        let acc = |i: u32| ProcessId(3 + i);
+        let dec = SingleDecree::decided;
+        l.on_message(acc(1), Msg::P2b { round: r1, val: dec(1) }, &mut c);
+        l.on_message(acc(2), Msg::P2b { round: r1, val: dec(1) }, &mut c);
+        l.on_message(acc(1), Msg::P2b { round: r2, val: dec(2) }, &mut c);
+        l.on_message(acc(2), Msg::P2b { round: r2, val: dec(2) }, &mut c);
+    }
+}

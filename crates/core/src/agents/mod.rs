@@ -1,0 +1,54 @@
+//! The four protocol agents: proposer, coordinator, acceptor, learner.
+//!
+//! Each agent implements [`mcpaxos_actor::Actor`] over [`crate::Msg`] and
+//! is driven by whichever runtime hosts it. Agents share a deployment
+//! [`crate::DeployConfig`] via `Arc` and communicate only through
+//! messages; all protocol state is private to the agent that owns it.
+
+mod acceptor;
+mod coordinator;
+mod learner;
+mod proposer;
+
+pub use acceptor::Acceptor;
+pub use coordinator::Coordinator;
+pub use learner::Learner;
+pub use proposer::Proposer;
+
+use mcpaxos_actor::TimerToken;
+
+/// Coordinator heartbeat / leadership tick.
+pub const TOK_TICK: TimerToken = TimerToken(1);
+/// Proposer retransmission tick.
+pub const TOK_RESEND: TimerToken = TimerToken(2);
+/// Acceptor "2b" rebroadcast tick.
+pub const TOK_A_RESEND: TimerToken = TimerToken(3);
+
+/// Metric names emitted by the agents (collected by the host runtime).
+pub mod metrics {
+    /// Commands submitted to a proposer.
+    pub const PROPOSED: &str = "proposed";
+    /// Proposer retransmission rounds.
+    pub const RESENDS: &str = "resends";
+    /// Rounds started with a phase "1a" broadcast.
+    pub const ROUNDS_STARTED: &str = "rounds_started";
+    /// `Phase2Start` executions (value picked from a 1b quorum).
+    pub const PHASE2_STARTS: &str = "phase2_starts";
+    /// Phase "2a" value extensions sent by coordinators.
+    pub const PHASE2A: &str = "phase2a";
+    /// Genuine accepts (the acceptor's value changed).
+    pub const ACCEPTS: &str = "accepts";
+    /// Multicoordinated collisions detected by acceptors (§4.2).
+    pub const COLLISION_MC: &str = "collision_mc";
+    /// Fast-round collisions detected (by coordinators or acceptors).
+    pub const COLLISION_FAST: &str = "collision_fast";
+    /// `RoundTooLow` nacks sent by acceptors.
+    pub const NACKS: &str = "nacks";
+    /// Commands newly learned (per learner).
+    pub const LEARNED: &str = "learned";
+    /// Uncoordinated recoveries executed by acceptors.
+    pub const UNCOORDINATED_RECOVERIES: &str = "uncoordinated_recoveries";
+    /// Persisted votes later overwritten by a non-extending value: the
+    /// "wasted disk writes" of fast-round collisions (§4.2).
+    pub const OVERWRITTEN_VOTES: &str = "overwritten_votes";
+}

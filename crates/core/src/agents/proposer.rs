@@ -1,0 +1,267 @@
+//! The proposer agent.
+//!
+//! Proposers take commands from clients (the hosting application calls
+//! [`Msg::Propose`] at them) and forward them to the round machinery:
+//! to every coordinator, and — because rounds may be fast — to every
+//! acceptor (§2.2: "proposers should send their propose messages to both
+//! coordinators and acceptors"). Under §4.1 load balancing the proposer
+//! instead picks one coordinator quorum and one acceptor quorum per
+//! command and pins the acceptor choice in the message.
+//!
+//! Proposers retransmit pending commands until a learner reports them
+//! learned, which (together with coordinators re-sending their "2a" on
+//! duplicate proposals) makes the protocol live under fair-lossy links.
+
+use crate::agents::{metrics, TOK_RESEND};
+use crate::config::DeployConfig;
+use crate::msg::Msg;
+use mcpaxos_actor::{Actor, Context, Metric, ProcessId, TimerToken};
+use mcpaxos_cstruct::CStruct;
+use std::sync::Arc;
+
+/// The proposer role (§2.1: clients issuing commands).
+pub struct Proposer<C: CStruct> {
+    cfg: Arc<DeployConfig>,
+    pending: Vec<C::Cmd>,
+}
+
+impl<C: CStruct> Proposer<C> {
+    /// Creates a proposer for the given deployment.
+    pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        Proposer {
+            cfg,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Commands proposed but not yet reported learned.
+    pub fn pending(&self) -> &[C::Cmd] {
+        &self.pending
+    }
+
+    fn pick_subset(
+        &self,
+        pool: &[ProcessId],
+        size: usize,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) -> Vec<ProcessId> {
+        // Rotate the pool by a random offset and take `size` members: a
+        // cheap uniform-ish quorum choice that spreads load (§4.1).
+        let n = pool.len();
+        let start = (ctx.random() as usize) % n;
+        (0..size.min(n)).map(|i| pool[(start + i) % n]).collect()
+    }
+
+    fn forward(&self, cmd: &C::Cmd, ctx: &mut dyn Context<Msg<C>>) {
+        let coords = self.cfg.roles.coordinators().to_vec();
+        let accs = self.cfg.roles.acceptors().to_vec();
+        if self.cfg.load_balance {
+            // §4.1: pick one coordinator quorum and one acceptor quorum
+            // per command; the acceptor choice rides in the message so the
+            // whole coordinator quorum forwards to the same acceptors.
+            // In classic rounds proposals go only to the coordinators;
+            // under a fast policy they also go to the (fast-sized) chosen
+            // acceptor quorum.
+            let fresh = self.cfg.schedule.initial(0, 0);
+            let cq = self.cfg.schedule.coord_quorum(fresh);
+            let fast = self.cfg.schedule.kind(fresh) == crate::schedule::RoundKind::Fast;
+            let acc_size = if fast {
+                self.cfg.quorums.fast_size()
+            } else {
+                self.cfg.quorums.classic_size()
+            };
+            let coord_targets = self.pick_subset(&coords, cq.quorum_size(), ctx);
+            let acc_targets = self.pick_subset(&accs, acc_size, ctx);
+            let msg = Msg::Propose {
+                cmd: cmd.clone(),
+                acc_quorum: Some(acc_targets.clone()),
+            };
+            ctx.multicast(&coord_targets, msg.clone());
+            if fast {
+                ctx.multicast(&acc_targets, msg);
+            }
+        } else {
+            let msg = Msg::Propose {
+                cmd: cmd.clone(),
+                acc_quorum: None,
+            };
+            ctx.multicast(&coords, msg.clone());
+            ctx.multicast(&accs, msg);
+        }
+    }
+
+    fn arm_resend(&self, ctx: &mut dyn Context<Msg<C>>) {
+        let every = self.cfg.timing.proposer_resend;
+        if every.ticks() > 0 {
+            ctx.set_timer(every, TOK_RESEND);
+        }
+    }
+}
+
+impl<C: CStruct> Actor for Proposer<C> {
+    type Msg = Msg<C>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        self.arm_resend(ctx);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
+        match msg {
+            Msg::Propose { cmd, .. } => {
+                if !self.pending.contains(&cmd) {
+                    self.pending.push(cmd.clone());
+                    ctx.metric(Metric::incr(metrics::PROPOSED));
+                }
+                self.forward(&cmd, ctx);
+            }
+            Msg::Learned { cmds } => {
+                self.pending.retain(|c| !cmds.contains(c));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Msg<C>>) {
+        if token == TOK_RESEND {
+            if !self.pending.is_empty() {
+                ctx.metric(Metric::incr(metrics::RESENDS));
+                let pending = self.pending.clone();
+                for cmd in &pending {
+                    self.forward(cmd, ctx);
+                }
+            }
+            self.arm_resend(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Policy;
+    use mcpaxos_actor::{MemStore, SimDuration, SimTime, StableStore};
+    use mcpaxos_cstruct::SingleDecree;
+
+    type C = SingleDecree<u32>;
+
+    struct Ctx {
+        sent: Vec<(ProcessId, Msg<C>)>,
+        store: MemStore,
+        timers: Vec<TimerToken>,
+        rnd: u64,
+    }
+
+    impl Context<Msg<C>> for Ctx {
+        fn me(&self) -> ProcessId {
+            ProcessId(0)
+        }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn send(&mut self, to: ProcessId, msg: Msg<C>) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _after: SimDuration, token: TimerToken) {
+            self.timers.push(token);
+        }
+        fn cancel_timer(&mut self, _token: TimerToken) {}
+        fn storage(&mut self) -> &mut dyn StableStore {
+            &mut self.store
+        }
+        fn metric(&mut self, _m: Metric) {}
+        fn random(&mut self) -> u64 {
+            self.rnd = self.rnd.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.rnd
+        }
+    }
+
+    fn ctx() -> Ctx {
+        Ctx {
+            sent: vec![],
+            store: MemStore::new(),
+            timers: vec![],
+            rnd: 0,
+        }
+    }
+
+    #[test]
+    fn broadcasts_to_coordinators_and_acceptors() {
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated));
+        let mut p: Proposer<C> = Proposer::new(cfg.clone());
+        let mut c = ctx();
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 7,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        // 3 coordinators + 5 acceptors.
+        assert_eq!(c.sent.len(), 8);
+        assert_eq!(p.pending(), &[7]);
+        // Duplicate submission does not duplicate pending but re-forwards.
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 7,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        assert_eq!(p.pending(), &[7]);
+        assert_eq!(c.sent.len(), 16);
+    }
+
+    #[test]
+    fn load_balance_pins_an_acceptor_quorum() {
+        let cfg = Arc::new(
+            DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated).with_load_balance(true),
+        );
+        let mut p: Proposer<C> = Proposer::new(cfg);
+        let mut c = ctx();
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 7,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        // 2-of-3 coordinator quorum only (classic rounds: acceptors are
+        // reached by the coordinators, §4.1), acceptor pin piggybacked.
+        assert_eq!(c.sent.len(), 2);
+        for (_, m) in &c.sent {
+            match m {
+                Msg::Propose { acc_quorum, .. } => {
+                    assert_eq!(acc_quorum.as_ref().unwrap().len(), 3);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn learned_clears_pending_and_resend_repeats() {
+        let cfg = Arc::new(DeployConfig::simple(1, 1, 3, 1, Policy::SingleCoordinated));
+        let mut p: Proposer<C> = Proposer::new(cfg);
+        let mut c = ctx();
+        p.on_start(&mut c);
+        assert_eq!(c.timers, vec![TOK_RESEND]);
+        for cmd in [1u32, 2, 3] {
+            p.on_message(
+                ProcessId(99),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut c,
+            );
+        }
+        p.on_message(ProcessId(50), Msg::Learned { cmds: vec![1, 3] }, &mut c);
+        assert_eq!(p.pending(), &[2]);
+        let before = c.sent.len();
+        p.on_timer(TOK_RESEND, &mut c);
+        assert_eq!(c.sent.len() - before, 4, "1 coord + 3 acceptors for cmd 2");
+    }
+}

@@ -1,0 +1,246 @@
+//! Deployment configuration shared by every agent of a cluster.
+
+use crate::quorum::{check_intersections, QuorumSpec};
+use crate::schedule::{Policy, Schedule};
+use mcpaxos_actor::{RoleMap, SimDuration};
+
+/// When acceptors write to stable storage (§4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// Persist the full round state on every `Phase1b` *and* every accept:
+    /// the straightforward reading of the algorithm.
+    Naive,
+    /// The paper's optimized scheme: persist `(vrnd, vval)` on accepts and
+    /// only the major round count (`MCount`) when it grows; on recovery,
+    /// resume at `major + 1`. One write at startup, one extra per
+    /// recovery, none per `Phase1b`.
+    Reduced,
+}
+
+/// How collisions are recovered (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollisionPolicy {
+    /// The leader observes the collision and starts the successor round
+    /// from scratch (phase 1 included): four extra communication steps.
+    NewRound,
+    /// Coordinated recovery: messages of the collided round are reused as
+    /// phase "1b" messages for the successor round, skipping its phase 1:
+    /// two extra steps. (For multicoordinated collisions this is the §4.2
+    /// scheme where acceptors answer the implicit "1a" of round `i+1`.)
+    Coordinated,
+    /// Uncoordinated recovery: each acceptor acts as a coordinator quorum
+    /// of itself for the (fast) successor round and picks a value locally:
+    /// one extra step. Requires acceptors to gossip their "2b" messages.
+    Uncoordinated,
+}
+
+/// Protocol timing constants, in ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// Interval between coordinator heartbeats.
+    pub heartbeat_every: SimDuration,
+    /// Silence after which a coordinator is suspected (leader election).
+    pub leader_timeout: SimDuration,
+    /// Progress silence after which the leader starts a higher round.
+    pub stall_timeout: SimDuration,
+    /// Proposer retransmission interval (0 disables).
+    pub proposer_resend: SimDuration,
+    /// Acceptor "2b" rebroadcast interval (0 disables); lets partitioned
+    /// or freshly recovered learners catch up (§A: agents keep re-sending
+    /// their last message).
+    pub acceptor_resend: SimDuration,
+    /// After a collision, leaders keep starting *single-coordinated*
+    /// rounds for this long before returning to the policy's fresh round
+    /// type (§4.2: "after some time of normal execution ... start a
+    /// multicoordinated round again").
+    pub collision_backoff: SimDuration,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            heartbeat_every: SimDuration(50),
+            leader_timeout: SimDuration(160),
+            stall_timeout: SimDuration(120),
+            proposer_resend: SimDuration(200),
+            acceptor_resend: SimDuration(170),
+            collision_backoff: SimDuration(600),
+        }
+    }
+}
+
+/// Full configuration of a Multicoordinated Paxos deployment.
+///
+/// Shared (via `Arc`) by all agents; contains only immutable data.
+#[derive(Clone, Debug)]
+pub struct DeployConfig {
+    /// Which processes play which roles.
+    pub roles: RoleMap,
+    /// Acceptor quorum sizes (Assumptions 1–2).
+    pub quorums: QuorumSpec,
+    /// Round typing and coordinator quorums (Assumption 3, §4.5).
+    pub schedule: Schedule,
+    /// Acceptor disk-write scheme (§4.4).
+    pub durability: Durability,
+    /// Collision recovery scheme (§4.2).
+    pub collision: CollisionPolicy,
+    /// §4.1 load balancing: proposers pick one coordinator quorum and one
+    /// acceptor quorum per command instead of broadcasting.
+    pub load_balance: bool,
+    /// Learners notify proposers of learned commands (enables proposer
+    /// retransmission to stop; required for liveness under message loss).
+    pub notify_learned: bool,
+    /// Timers.
+    pub timing: Timing,
+}
+
+impl DeployConfig {
+    /// A ready-to-run configuration: `n_coord` coordinators and `n_acc`
+    /// acceptors with majority quorums, one proposer, one learner,
+    /// reduced durability and coordinated collision recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_acc` does not admit majority quorums (`n_acc == 0`).
+    pub fn simple(n_prop: usize, n_coord: usize, n_acc: usize, n_learn: usize, policy: Policy) -> Self {
+        let roles = RoleMap::disjoint(n_prop, n_coord, n_acc, n_learn);
+        let quorums = QuorumSpec::majority(n_acc).expect("majority quorums");
+        let schedule = Schedule::new(roles.coordinators().to_vec(), policy);
+        DeployConfig {
+            roles,
+            quorums,
+            schedule,
+            durability: Durability::Reduced,
+            collision: CollisionPolicy::Coordinated,
+            load_balance: false,
+            notify_learned: true,
+            timing: Timing::default(),
+        }
+    }
+
+    /// Returns `self` with the given collision policy.
+    pub fn with_collision(mut self, collision: CollisionPolicy) -> Self {
+        self.collision = collision;
+        self
+    }
+
+    /// Returns `self` with the given durability scheme.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Returns `self` with §4.1 load balancing switched on or off.
+    pub fn with_load_balance(mut self, on: bool) -> Self {
+        self.load_balance = on;
+        self
+    }
+
+    /// Returns `self` with the given quorum spec.
+    pub fn with_quorums(mut self, quorums: QuorumSpec) -> Self {
+        self.quorums = quorums;
+        self
+    }
+
+    /// Returns `self` with the given timing constants.
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Returns `self` with learner→proposer notifications on or off.
+    pub fn with_notify_learned(mut self, on: bool) -> Self {
+        self.notify_learned = on;
+        self
+    }
+
+    /// Checks internal consistency: quorum requirements, role coverage,
+    /// and that the collision policy fits the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.roles.n_acceptors() != self.quorums.n() {
+            return Err(format!(
+                "quorum spec is for {} acceptors but {} are deployed",
+                self.quorums.n(),
+                self.roles.n_acceptors()
+            ));
+        }
+        check_intersections(&self.quorums)?;
+        if self.roles.coordinators().is_empty() {
+            return Err("no coordinators".into());
+        }
+        if self.roles.learners().is_empty() {
+            return Err("no learners".into());
+        }
+        if self.schedule.all_coordinators() != self.roles.coordinators() {
+            return Err("schedule coordinators differ from role map".into());
+        }
+        if self.collision == CollisionPolicy::Uncoordinated
+            && self.schedule.policy() != Policy::FastForever
+        {
+            return Err(
+                "uncoordinated recovery requires fast successor rounds (Policy::FastForever)"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_config_validates() {
+        for policy in [
+            Policy::SingleCoordinated,
+            Policy::MultiCoordinated,
+            Policy::FastThenClassic,
+        ] {
+            let cfg = DeployConfig::simple(1, 3, 5, 2, policy);
+            cfg.validate().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
+        let cfg = DeployConfig::simple(1, 3, 5, 2, Policy::FastForever)
+            .with_collision(CollisionPolicy::Uncoordinated);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn uncoordinated_requires_fast_forever() {
+        let cfg = DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated)
+            .with_collision(CollisionPolicy::Uncoordinated);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mismatched_quorums_rejected() {
+        let cfg = DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated)
+            .with_quorums(QuorumSpec::majority(7).unwrap());
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = DeployConfig::simple(1, 1, 3, 1, Policy::SingleCoordinated)
+            .with_durability(Durability::Naive)
+            .with_load_balance(true)
+            .with_notify_learned(false)
+            .with_timing(Timing {
+                heartbeat_every: SimDuration(5),
+                leader_timeout: SimDuration(20),
+                stall_timeout: SimDuration(30),
+                proposer_resend: SimDuration(40),
+                acceptor_resend: SimDuration(0),
+                collision_backoff: SimDuration(0),
+            });
+        assert_eq!(cfg.durability, Durability::Naive);
+        assert!(cfg.load_balance);
+        assert!(!cfg.notify_learned);
+        assert_eq!(cfg.timing.heartbeat_every, SimDuration(5));
+    }
+}

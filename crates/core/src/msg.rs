@@ -1,0 +1,145 @@
+//! Protocol messages.
+//!
+//! One message enum serves the consensus instantiation (§3.1, via the
+//! `SingleDecree` c-struct) and the generalized algorithm (§3.2): the
+//! message *structure* is identical, only the payload type changes.
+
+use crate::round::Round;
+use mcpaxos_actor::ProcessId;
+use mcpaxos_cstruct::CStruct;
+
+/// Messages exchanged by Multicoordinated Paxos agents.
+///
+/// The type parameter is the c-struct set the deployment agrees on;
+/// commands are `C::Cmd`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg<C: CStruct> {
+    /// `⟨"propose", C⟩` — from a proposer to coordinators (and to
+    /// acceptors, for fast rounds). `acc_quorum` optionally pins the
+    /// acceptor quorum that should handle the command (the load-balancing
+    /// scheme of §4.1: the chosen quorum is piggybacked so every
+    /// coordinator in the chosen coordinator quorum forwards to the same
+    /// acceptors).
+    Propose {
+        /// The proposed command.
+        cmd: C::Cmd,
+        /// Load-balancing pin: acceptors that should handle the command.
+        acc_quorum: Option<Vec<ProcessId>>,
+    },
+    /// `⟨"1a", i⟩` — a coordinator asks acceptors to join round `i`.
+    P1a {
+        /// The round being started.
+        round: Round,
+    },
+    /// `⟨"1b", i, vval, vrnd⟩` — an acceptor reports its latest accepted
+    /// value to the coordinators of round `i`.
+    P1b {
+        /// The round being joined.
+        round: Round,
+        /// Round at which `vval` was accepted.
+        vrnd: Round,
+        /// Latest accepted c-struct.
+        vval: C,
+    },
+    /// `⟨"2a", i, val⟩` — a coordinator forwards (its current suggestion
+    /// of) the round-`i` value to acceptors.
+    P2a {
+        /// The round.
+        round: Round,
+        /// The coordinator's current `cval`.
+        val: C,
+    },
+    /// `⟨"2b", i, val⟩` — an acceptor announces its accepted value. Sent
+    /// to learners, and to coordinators (who monitor progress, detect fast
+    /// collisions and run coordinated recovery, §4.2–4.3). Under
+    /// uncoordinated recovery acceptors also gossip `2b` to each other.
+    P2b {
+        /// The round.
+        round: Round,
+        /// The acceptor's accepted c-struct.
+        val: C,
+    },
+    /// Nack: the receiver's round is below the sender's current round
+    /// (§4.3 — lets a leader discover it must start a higher round).
+    RoundTooLow {
+        /// The sender's current round.
+        heard: Round,
+    },
+    /// Leader-election keep-alive among coordinators (§4.3).
+    Heartbeat,
+    /// Learner → proposer notification that commands are now contained in
+    /// the learned c-struct; stops retransmission.
+    Learned {
+        /// Commands newly contained in the learner's `learned` value.
+        cmds: Vec<C::Cmd>,
+    },
+}
+
+impl<C: CStruct> Msg<C> {
+    /// Short tag for metrics and traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::Propose { .. } => "propose",
+            Msg::P1a { .. } => "1a",
+            Msg::P1b { .. } => "1b",
+            Msg::P2a { .. } => "2a",
+            Msg::P2b { .. } => "2b",
+            Msg::RoundTooLow { .. } => "nack",
+            Msg::Heartbeat => "heartbeat",
+            Msg::Learned { .. } => "learned",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_cstruct::{CStruct, SingleDecree};
+
+    #[test]
+    fn tags() {
+        type M = Msg<SingleDecree<u32>>;
+        let msgs: Vec<M> = vec![
+            Msg::Propose {
+                cmd: 1,
+                acc_quorum: None,
+            },
+            Msg::P1a {
+                round: Round::ZERO,
+            },
+            Msg::P1b {
+                round: Round::ZERO,
+                vrnd: Round::ZERO,
+                vval: SingleDecree::bottom(),
+            },
+            Msg::P2a {
+                round: Round::ZERO,
+                val: SingleDecree::bottom(),
+            },
+            Msg::P2b {
+                round: Round::ZERO,
+                val: SingleDecree::bottom(),
+            },
+            Msg::RoundTooLow {
+                heard: Round::ZERO,
+            },
+            Msg::Heartbeat,
+            Msg::Learned { cmds: vec![] },
+        ];
+        let tags: Vec<&str> = msgs.iter().map(|m| m.tag()).collect();
+        assert_eq!(
+            tags,
+            vec!["propose", "1a", "1b", "2a", "2b", "nack", "heartbeat", "learned"]
+        );
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        type M = Msg<SingleDecree<u32>>;
+        let m: M = Msg::P2a {
+            round: Round::new(1, 2, 0, 1),
+            val: SingleDecree::decided(9),
+        };
+        assert_eq!(m.clone(), m);
+    }
+}

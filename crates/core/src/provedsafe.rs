@@ -1,0 +1,372 @@
+//! The `ProvedSafe` value-picking rule (Definition 1, §3.2–§3.3.2).
+//!
+//! After collecting phase "1b" messages for round `i` from a quorum `Q`,
+//! a coordinator must pick a value that extends every c-struct that was or
+//! might still be chosen in a lower round. `ProvedSafe` computes the set of
+//! such *pickable* values:
+//!
+//! * let `k` be the highest `vrnd` among the messages;
+//! * if no `k`-quorum `R` has all of `Q ∩ R` reporting `vrnd = k`, nothing
+//!   (beyond what is implied by lower rounds) was chosen at `k`, and any
+//!   reported `k`-value is pickable;
+//! * otherwise, for every such `R` the glb of the values reported by
+//!   `Q ∩ R` might have been chosen; the Fast Quorum Requirement makes the
+//!   set `Γ` of those glbs compatible, and `⊔Γ` is the pickable value.
+//!
+//! Two implementations are provided: the cardinality shortcut of §3.3.2
+//! ([`proved_safe`]), used by coordinators, and a direct transcription of
+//! Definition 1 that enumerates actual quorums ([`proved_safe_exact`]),
+//! kept as a differential-testing oracle.
+
+use crate::quorum::{combination_count, for_each_combination, QuorumSpec};
+use crate::round::Round;
+use crate::schedule::RoundKind;
+use mcpaxos_actor::ProcessId;
+use mcpaxos_cstruct::{glb_all, lub_all, CStruct};
+
+/// One phase "1b" report: acceptor `from` last accepted `vval` at `vrnd`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OneB<C> {
+    /// The reporting acceptor.
+    pub from: ProcessId,
+    /// Round of the acceptor's latest accepted value.
+    pub vrnd: Round,
+    /// The acceptor's latest accepted c-struct.
+    pub vval: C,
+}
+
+/// Upper bound on the number of quorum intersections [`proved_safe`] will
+/// enumerate before panicking; reached only with implausibly large
+/// deployments (the experiments use `n ≤ 13`).
+const MAX_ENUMERATION: u64 = 200_000;
+
+/// Computes the pickable values from the 1b reports of quorum `Q`
+/// (§3.3.2 cardinality form). `kind_of` maps a round to its kind (fast
+/// rounds have bigger quorums and therefore smaller guaranteed
+/// intersections).
+///
+/// Returns a non-empty set of pickable c-structs; the coordinator may pick
+/// any of them (when more than one is returned, each is individually
+/// pickable — they are the `vals(kacceptors)` of Definition 1).
+///
+/// # Panics
+///
+/// * If `msgs` is empty (the caller must supply a full classic quorum).
+/// * If the glbs of the quorum intersections are incompatible, which the
+///   Fast Quorum Requirement rules out — reaching this indicates a
+///   misconfigured quorum system or a safety bug upstream.
+pub fn proved_safe<C: CStruct>(
+    msgs: &[OneB<C>],
+    spec: &QuorumSpec,
+    kind_of: impl Fn(Round) -> RoundKind,
+) -> Vec<C> {
+    assert!(!msgs.is_empty(), "ProvedSafe needs a non-empty quorum");
+    let k = msgs.iter().map(|m| m.vrnd).max().expect("non-empty");
+    let kvals: Vec<&C> = msgs
+        .iter()
+        .filter(|m| m.vrnd == k)
+        .map(|m| &m.vval)
+        .collect();
+
+    // Minimum size of Q ∩ R over k-quorums R, for the actual |Q| received:
+    // |Q ∩ R| >= |Q| + |R| − n.
+    let k_quorum_size = if k.is_zero() {
+        // Round zero "quorums" are the implicit unanimous vote for ⊥;
+        // every value reported is ⊥ and any of them is pickable.
+        return vec![kvals[0].clone()];
+    } else {
+        spec.size_for(kind_of(k))
+    };
+    let inter = (msgs.len() + k_quorum_size).saturating_sub(spec.n());
+    assert!(
+        inter >= 1,
+        "quorum too small: |Q|={} with k-quorums of {} over n={}",
+        msgs.len(),
+        k_quorum_size,
+        spec.n()
+    );
+
+    if kvals.len() < inter {
+        // No k-quorum has its whole intersection with Q at vrnd = k:
+        // nothing new chosen at k; any reported k-value is pickable.
+        return kvals.into_iter().cloned().collect();
+    }
+
+    // Γ = { ⊓ vals(e) : e ⊆ kacceptors, |e| = inter }.
+    let combos = combination_count(kvals.len(), inter);
+    assert!(
+        combos <= MAX_ENUMERATION,
+        "ProvedSafe would enumerate {combos} intersections; deployment too large"
+    );
+    let mut gamma: Vec<C> = Vec::with_capacity(combos as usize);
+    for_each_combination(kvals.len(), inter, |idx| {
+        gamma.push(glb_all(idx.iter().map(|&i| kvals[i].clone())));
+        true
+    });
+    let lub = lub_all(gamma.iter().cloned()).expect(
+        "Fast Quorum Requirement violated: incompatible quorum-intersection glbs in ProvedSafe",
+    );
+    vec![lub]
+}
+
+/// Direct transcription of Definition 1: enumerates real `k`-quorums `R`
+/// over the full acceptor set and forms `Γ` from the intersections
+/// `Q ∩ R` whose members all reported `vrnd = k`.
+///
+/// Exponential in `n`; used only as a test oracle.
+///
+/// # Panics
+///
+/// As [`proved_safe`].
+pub fn proved_safe_exact<C: CStruct>(
+    msgs: &[OneB<C>],
+    all_acceptors: &[ProcessId],
+    spec: &QuorumSpec,
+    kind_of: impl Fn(Round) -> RoundKind,
+) -> Vec<C> {
+    assert!(!msgs.is_empty(), "ProvedSafe needs a non-empty quorum");
+    let k = msgs.iter().map(|m| m.vrnd).max().expect("non-empty");
+    let kacceptors: Vec<ProcessId> = msgs
+        .iter()
+        .filter(|m| m.vrnd == k)
+        .map(|m| m.from)
+        .collect();
+    let val_of = |p: ProcessId| -> &C {
+        &msgs
+            .iter()
+            .find(|m| m.from == p)
+            .expect("member of Q")
+            .vval
+    };
+    if k.is_zero() {
+        return vec![val_of(kacceptors[0]).clone()];
+    }
+    let q_members: Vec<ProcessId> = msgs.iter().map(|m| m.from).collect();
+    let k_quorum_size = spec.size_for(kind_of(k));
+
+    let mut gamma: Vec<C> = Vec::new();
+    for_each_combination(all_acceptors.len(), k_quorum_size, |idx| {
+        let inter: Vec<ProcessId> = idx
+            .iter()
+            .map(|&i| all_acceptors[i])
+            .filter(|p| q_members.contains(p))
+            .collect();
+        // QinterRAtk: intersections whose members all reported vrnd = k.
+        if !inter.is_empty() && inter.iter().all(|p| kacceptors.contains(p)) {
+            gamma.push(glb_all(inter.iter().map(|&p| val_of(p).clone())));
+        }
+        true
+    });
+
+    if gamma.is_empty() {
+        return kacceptors.iter().map(|&p| val_of(p).clone()).collect();
+    }
+    let lub = lub_all(gamma.into_iter())
+        .expect("Fast Quorum Requirement violated in exact ProvedSafe");
+    vec![lub]
+}
+
+/// Picks one value from a non-empty pickable set: a maximal element under
+/// `⊑` (any would be safe; a maximal one carries the most commands).
+pub fn pick<C: CStruct>(mut pickable: Vec<C>) -> C {
+    assert!(!pickable.is_empty(), "nothing pickable");
+    let mut best = pickable.pop().expect("non-empty");
+    for v in pickable {
+        if best.le(&v) {
+            best = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{RTYPE_FAST, RTYPE_SINGLE};
+    use mcpaxos_cstruct::{CStruct, CmdSet, SingleDecree};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn classic_kind(_r: Round) -> RoundKind {
+        RoundKind::Classic
+    }
+
+    fn onb<C: CStruct>(from: u32, vrnd: Round, vval: C) -> OneB<C> {
+        OneB {
+            from: p(from),
+            vrnd,
+            vval,
+        }
+    }
+
+    #[test]
+    fn all_bottom_returns_bottom() {
+        let spec = QuorumSpec::majority(3).unwrap();
+        let msgs: Vec<OneB<SingleDecree<u32>>> = vec![
+            onb(0, Round::ZERO, SingleDecree::bottom()),
+            onb(1, Round::ZERO, SingleDecree::bottom()),
+        ];
+        let picked = proved_safe(&msgs, &spec, classic_kind);
+        assert_eq!(picked, vec![SingleDecree::bottom()]);
+    }
+
+    #[test]
+    fn previously_chosen_value_is_forced() {
+        // n = 3, majorities of 2. Acceptors 0 and 1 accepted v at round k:
+        // v may be chosen, so it must be picked.
+        let spec = QuorumSpec::majority(3).unwrap();
+        let k = Round::new(0, 1, 0, RTYPE_SINGLE);
+        let v = SingleDecree::decided(7u32);
+        let msgs = vec![onb(0, k, v.clone()), onb(1, k, v.clone())];
+        let picked = proved_safe(&msgs, &spec, classic_kind);
+        assert_eq!(picked, vec![v]);
+    }
+
+    #[test]
+    fn partial_k_round_still_forces_value() {
+        // Only acceptor 1 reports round k, acceptor 0 reports ZERO. With
+        // majorities of 2 over n=3, Q∩R min size is 1, so {a1} is a
+        // potential intersection: its value might be chosen at k.
+        let spec = QuorumSpec::majority(3).unwrap();
+        let k = Round::new(0, 1, 0, RTYPE_SINGLE);
+        let v = SingleDecree::decided(7u32);
+        let msgs = vec![
+            onb(0, Round::ZERO, SingleDecree::bottom()),
+            onb(1, k, v.clone()),
+        ];
+        let picked = proved_safe(&msgs, &spec, classic_kind);
+        assert_eq!(picked, vec![v]);
+    }
+
+    #[test]
+    fn bigger_quorum_sees_no_kquorum_intersection() {
+        // n = 5, F = 2 (classic quorums of 3). Q = {0,1,2}; only acceptor
+        // 2 reports k. Min intersection = 3+3-5 = 1, so {a2} is possible:
+        // its value is forced. But if Q = {0,1,2,3,4} (all five) and only
+        // acceptor 2 reports k... intersection min = 5+3-5 = 3 > 1
+        // reporter, so nothing chosen at k: any k-value pickable.
+        let spec = QuorumSpec::majority(5).unwrap();
+        let k = Round::new(0, 1, 0, RTYPE_SINGLE);
+        let v = SingleDecree::decided(7u32);
+        let msgs = vec![
+            onb(0, Round::ZERO, SingleDecree::bottom()),
+            onb(1, Round::ZERO, SingleDecree::bottom()),
+            onb(2, k, v.clone()),
+            onb(3, Round::ZERO, SingleDecree::bottom()),
+            onb(4, Round::ZERO, SingleDecree::bottom()),
+        ];
+        let picked = proved_safe(&msgs, &spec, classic_kind);
+        // kacceptors = {2}: count 1 < inter 3 → vals(kacceptors).
+        assert_eq!(picked, vec![v]);
+    }
+
+    #[test]
+    fn generalized_lub_of_intersection_glbs() {
+        // CmdSet c-structs: three acceptors at round k with different but
+        // compatible sets; majorities over n=3 → inter = 1 → Γ = each
+        // value; pick = lub = union.
+        let spec = QuorumSpec::majority(3).unwrap();
+        let k = Round::new(0, 1, 0, RTYPE_SINGLE);
+        let mk = |v: &[u32]| -> CmdSet<u32> { v.iter().copied().collect() };
+        let msgs = vec![
+            onb(0, k, mk(&[1, 2])),
+            onb(1, k, mk(&[2, 3])),
+        ];
+        let picked = proved_safe(&msgs, &spec, classic_kind);
+        assert_eq!(picked, vec![mk(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn fast_round_uses_bigger_intersections() {
+        // n = 5, E = 1 → fast quorums of 4; |Q| = 3 → inter = 3+4-5 = 2.
+        // Two acceptors at fast k with values {1} and {2}: Γ = {glb} over
+        // the single 2-subset = {} → pick ⊔Γ = {} ∪ ... = glb({1},{2}) = ∅.
+        let spec = QuorumSpec::majority(5).unwrap();
+        let kind = |r: Round| {
+            if r.rtype == RTYPE_FAST {
+                RoundKind::Fast
+            } else {
+                RoundKind::Classic
+            }
+        };
+        let k = Round::new(0, 1, 0, RTYPE_FAST);
+        let mk = |v: &[u32]| -> CmdSet<u32> { v.iter().copied().collect() };
+        let msgs = vec![
+            onb(0, k, mk(&[1])),
+            onb(1, k, mk(&[2])),
+            onb(2, Round::ZERO, CmdSet::bottom()),
+        ];
+        let picked = proved_safe(&msgs, &spec, kind);
+        assert_eq!(picked, vec![CmdSet::bottom()]);
+    }
+
+    #[test]
+    fn exact_agrees_with_cardinality_on_samples() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let all: Vec<ProcessId> = (0..5).map(p).collect();
+        let spec = QuorumSpec::majority(5).unwrap();
+        let kind = |r: Round| {
+            if r.rtype == RTYPE_FAST {
+                RoundKind::Fast
+            } else {
+                RoundKind::Classic
+            }
+        };
+        for _ in 0..300 {
+            // Random 1b messages from a random quorum of size 3..=5.
+            let qsize = rng.gen_range(3..=5usize);
+            let mut members: Vec<u32> = (0..5).collect();
+            for i in (1..members.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                members.swap(i, j);
+            }
+            members.truncate(qsize);
+            let rounds = [
+                Round::ZERO,
+                Round::new(0, 1, 0, RTYPE_FAST),
+                Round::new(0, 2, 0, RTYPE_SINGLE),
+            ];
+            let msgs: Vec<OneB<CmdSet<u32>>> = members
+                .iter()
+                .map(|&m| {
+                    let vrnd = rounds[rng.gen_range(0..rounds.len())];
+                    let vval: CmdSet<u32> = if vrnd.is_zero() {
+                        CmdSet::bottom()
+                    } else {
+                        (0..rng.gen_range(0..3)).map(|_| rng.gen_range(0..5u32)).collect()
+                    };
+                    onb(m, vrnd, vval)
+                })
+                .collect();
+            let fast = proved_safe(&msgs, &spec, kind);
+            let exact = proved_safe_exact(&msgs, &all, &spec, kind);
+            // Both return either a forced lub (singleton) or a pickable
+            // set; compare as sets.
+            let mut f = fast.clone();
+            let mut e = exact.clone();
+            let key = |c: &CmdSet<u32>| format!("{c:?}");
+            f.sort_by_key(&key);
+            e.sort_by_key(&key);
+            assert_eq!(f, e, "divergence on {msgs:?}");
+        }
+    }
+
+    #[test]
+    fn pick_prefers_maximal() {
+        let mk = |v: &[u32]| -> CmdSet<u32> { v.iter().copied().collect() };
+        let picked = pick(vec![mk(&[1]), mk(&[1, 2]), mk(&[3])]);
+        // Any maximal element is fine; {1,2} or {3} are maximal, {1} not.
+        assert_ne!(picked, mk(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_quorum_panics() {
+        let spec = QuorumSpec::majority(3).unwrap();
+        let _ = proved_safe::<SingleDecree<u32>>(&[], &spec, classic_kind);
+    }
+}

@@ -1,0 +1,239 @@
+//! Round scheduling policies (§4.5 of the paper).
+//!
+//! A [`Schedule`] fixes, for every round id, the round's *kind* (classic or
+//! fast), its coordinator set and coordinator-quorum rule, and the
+//! successor round used for collision recovery. The paper's scenarios map
+//! onto the provided [`Policy`] values:
+//!
+//! * [`Policy::SingleCoordinated`] — Classic Paxos: every round is classic
+//!   with a single coordinator (the round owner).
+//! * [`Policy::MultiCoordinated`] — the paper's contribution: classic
+//!   rounds coordinated by *all* coordinators, any majority of which is a
+//!   coordinator quorum (Assumption 3); collisions are recovered in a
+//!   single-coordinated successor round (§4.2), after which the leader may
+//!   return to multicoordinated rounds.
+//! * [`Policy::FastThenClassic`] — Fast Paxos for clustered systems:
+//!   fast rounds whose collision recovery is a classic single-coordinated
+//!   round (coordinated recovery).
+//! * [`Policy::FastForever`] — fast rounds recovered by further fast
+//!   rounds (uncoordinated recovery, §4.2).
+
+use crate::round::Round;
+use crate::quorum::CoordQuorum;
+use mcpaxos_actor::ProcessId;
+
+/// Round type selectors stored in [`Round::rtype`].
+pub const RTYPE_FAST: u8 = 0;
+/// Classic round coordinated by every coordinator (majority quorums).
+pub const RTYPE_MULTI: u8 = 1;
+/// Classic round coordinated by the owner alone.
+pub const RTYPE_SINGLE: u8 = 2;
+
+/// Whether a round is classic or fast (the paper's `RType` semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoundKind {
+    /// Values reach acceptors through a quorum of coordinators.
+    Classic,
+    /// Proposers reach acceptors directly after the round starts.
+    Fast,
+}
+
+/// The deployment-wide round policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// All rounds single-coordinated classic (Classic Paxos baseline).
+    SingleCoordinated,
+    /// Fresh rounds are multicoordinated classic; collision recovery
+    /// switches to a single-coordinated round (§4.2).
+    MultiCoordinated,
+    /// Fresh rounds are fast; collision recovery switches to a
+    /// single-coordinated classic round (coordinated recovery).
+    FastThenClassic,
+    /// Fresh rounds are fast; collision recovery stays fast
+    /// (uncoordinated recovery).
+    FastForever,
+}
+
+/// Maps round ids to kinds, coordinator sets and successors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    coordinators: Vec<ProcessId>,
+    policy: Policy,
+}
+
+impl Schedule {
+    /// Creates a schedule over the given coordinator identities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coordinators` is empty.
+    pub fn new(coordinators: Vec<ProcessId>, policy: Policy) -> Self {
+        assert!(!coordinators.is_empty(), "need at least one coordinator");
+        Schedule {
+            coordinators,
+            policy,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// All coordinator identities of the deployment.
+    pub fn all_coordinators(&self) -> &[ProcessId] {
+        &self.coordinators
+    }
+
+    /// The kind of round `r`. The initial round [`Round::ZERO`] (at which
+    /// every acceptor implicitly accepts `⊥`) counts as classic.
+    pub fn kind(&self, r: Round) -> RoundKind {
+        if r.rtype == RTYPE_FAST && !r.is_zero() {
+            RoundKind::Fast
+        } else {
+            RoundKind::Classic
+        }
+    }
+
+    /// The coordinator set of round `r`: every coordinator for
+    /// multicoordinated rounds, the owner alone otherwise (fast rounds
+    /// only need their owner for `Phase2Start`).
+    pub fn coordinators_of(&self, r: Round) -> Vec<ProcessId> {
+        match r.rtype {
+            RTYPE_MULTI => self.coordinators.clone(),
+            _ => vec![self.owner_id(r)],
+        }
+    }
+
+    /// The identity of the coordinator that owns round `r`.
+    pub fn owner_id(&self, r: Round) -> ProcessId {
+        self.coordinators[(r.owner as usize) % self.coordinators.len()]
+    }
+
+    /// Whether process `p` coordinates round `r`.
+    pub fn is_coordinator_of(&self, p: ProcessId, r: Round) -> bool {
+        match r.rtype {
+            RTYPE_MULTI => self.coordinators.contains(&p),
+            _ => self.owner_id(r) == p,
+        }
+    }
+
+    /// The coordinator-quorum rule for round `r` (Assumption 3:
+    /// majorities of the round's coordinator set).
+    pub fn coord_quorum(&self, r: Round) -> CoordQuorum {
+        CoordQuorum::majority_of(self.coordinators_of(r).len())
+    }
+
+    /// The round type used for *fresh* rounds under this policy.
+    pub fn fresh_rtype(&self) -> u8 {
+        match self.policy {
+            Policy::SingleCoordinated => RTYPE_SINGLE,
+            Policy::MultiCoordinated => RTYPE_MULTI,
+            Policy::FastThenClassic | Policy::FastForever => RTYPE_FAST,
+        }
+    }
+
+    /// The first round a leader (by coordinator index) starts in a major
+    /// epoch.
+    pub fn initial(&self, owner_idx: u16, major: u32) -> Round {
+        Round::new(major, 1, owner_idx, self.fresh_rtype())
+    }
+
+    /// The collision-recovery successor of round `r` (§4.2): the next
+    /// minor count, owned by the same coordinator, with the policy's
+    /// recovery type. Deterministic, so every process derives the same
+    /// successor — the property coordinated and uncoordinated recovery
+    /// rely on.
+    pub fn next(&self, r: Round) -> Round {
+        let rtype = match self.policy {
+            Policy::SingleCoordinated => RTYPE_SINGLE,
+            Policy::MultiCoordinated => RTYPE_SINGLE, // §4.2: recover in a single-coordinated round
+            Policy::FastThenClassic => RTYPE_SINGLE,
+            Policy::FastForever => RTYPE_FAST,
+        };
+        Round::new(r.major, r.minor + 1, r.owner, rtype)
+    }
+
+    /// A fresh round strictly greater than `heard`, owned by coordinator
+    /// index `owner_idx`; used by a leader preempted by (or preempting)
+    /// round `heard`.
+    pub fn preempt(&self, heard: Round, owner_idx: u16) -> Round {
+        Round::new(heard.major, heard.minor + 1, owner_idx, self.fresh_rtype())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords() -> Vec<ProcessId> {
+        vec![ProcessId(1), ProcessId(2), ProcessId(3)]
+    }
+
+    #[test]
+    fn kinds_follow_rtype() {
+        let s = Schedule::new(coords(), Policy::MultiCoordinated);
+        assert_eq!(s.kind(Round::new(1, 1, 0, RTYPE_FAST)), RoundKind::Fast);
+        assert_eq!(s.kind(Round::new(1, 1, 0, RTYPE_MULTI)), RoundKind::Classic);
+        assert_eq!(
+            s.kind(Round::new(1, 1, 0, RTYPE_SINGLE)),
+            RoundKind::Classic
+        );
+    }
+
+    #[test]
+    fn multicoordinated_rounds_use_all_coordinators() {
+        let s = Schedule::new(coords(), Policy::MultiCoordinated);
+        let r = s.initial(0, 0);
+        assert_eq!(r.rtype, RTYPE_MULTI);
+        assert_eq!(s.coordinators_of(r), coords());
+        assert_eq!(s.coord_quorum(r).quorum_size(), 2);
+        assert!(s.is_coordinator_of(ProcessId(2), r));
+        // Recovery round is single-coordinated by the same owner.
+        let n = s.next(r);
+        assert_eq!(n.rtype, RTYPE_SINGLE);
+        assert_eq!(n.minor, r.minor + 1);
+        assert_eq!(s.coordinators_of(n), vec![ProcessId(1)]);
+        assert_eq!(s.coord_quorum(n).quorum_size(), 1);
+        assert!(!s.is_coordinator_of(ProcessId(2), n));
+    }
+
+    #[test]
+    fn single_coordinated_rounds() {
+        let s = Schedule::new(coords(), Policy::SingleCoordinated);
+        let r = s.initial(1, 0);
+        assert_eq!(r.rtype, RTYPE_SINGLE);
+        assert_eq!(s.coordinators_of(r), vec![ProcessId(2)]);
+        assert_eq!(s.owner_id(r), ProcessId(2));
+        // Owner indices wrap around.
+        assert_eq!(s.owner_id(Round::new(0, 1, 4, RTYPE_SINGLE)), ProcessId(2));
+    }
+
+    #[test]
+    fn fast_policies_differ_in_recovery() {
+        let coord = Schedule::new(coords(), Policy::FastThenClassic);
+        let r = coord.initial(0, 0);
+        assert_eq!(coord.kind(r), RoundKind::Fast);
+        assert_eq!(coord.kind(coord.next(r)), RoundKind::Classic);
+
+        let unco = Schedule::new(coords(), Policy::FastForever);
+        let r = unco.initial(0, 0);
+        assert_eq!(unco.kind(unco.next(r)), RoundKind::Fast);
+    }
+
+    #[test]
+    fn preempt_is_strictly_greater() {
+        let s = Schedule::new(coords(), Policy::MultiCoordinated);
+        let heard = Round::new(2, 7, 1, RTYPE_SINGLE);
+        let p = s.preempt(heard, 2);
+        assert!(p > heard);
+        assert_eq!(p.owner, 2);
+        assert_eq!(p.rtype, RTYPE_MULTI);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coordinator")]
+    fn empty_coordinators_rejected() {
+        let _ = Schedule::new(vec![], Policy::SingleCoordinated);
+    }
+}

@@ -1,0 +1,204 @@
+//! Randomized chaos sweeps: many seeds, jittery lossy networks, crashes,
+//! recoveries and partitions. Safety (nontriviality + consistency) must
+//! hold in every run; liveness is asserted for runs that end with a long
+//! quiet, fully-healed tail.
+
+mod common;
+
+use common::{assert_safety, deploy, learned, propose_at, CLIENT};
+use mcpaxos_actor::{ProcessId, SimTime};
+use mcpaxos_core::{CollisionPolicy, DeployConfig, Msg, Policy};
+use mcpaxos_cstruct::{CStruct, CmdSeq, CmdSet, SingleDecree};
+use mcpaxos_simnet::{DelayDist, NetConfig, Sim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Drives one chaotic scenario; returns the sim for inspection.
+fn chaos_run<C: CStruct<Cmd = u32>>(
+    seed: u64,
+    policy: Policy,
+    collision: CollisionPolicy,
+    n_cmds: u32,
+) -> (Arc<DeployConfig>, Sim<Msg<C>>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let cfg = Arc::new(
+        DeployConfig::simple(2, 3, 5, 2, policy).with_collision(collision),
+    );
+    let net = NetConfig::lockstep()
+        .with_delay(DelayDist::Uniform(1, rng.gen_range(2..8)))
+        .with_loss(rng.gen_range(0.0..0.08))
+        .with_duplicate(rng.gen_range(0.0..0.04));
+    let mut sim: Sim<Msg<C>> = Sim::new(seed, net);
+    deploy(&mut sim, &cfg);
+
+    // Proposals spread over the first stretch.
+    for i in 0..n_cmds {
+        let t = SimTime(rng.gen_range(100..1_500));
+        propose_at(&mut sim, &cfg, t, (i % 2) as usize, i);
+    }
+    // Crash/recover a random minority of acceptors.
+    let accs = cfg.roles.acceptors().to_vec();
+    for k in 0..2 {
+        let a = accs[rng.gen_range(0..accs.len())];
+        let down = rng.gen_range(200..1_200);
+        let up = down + rng.gen_range(100..800);
+        let _ = k;
+        sim.crash_at(SimTime(down), a);
+        sim.recover_at(SimTime(up), a);
+    }
+    // Crash/recover one random coordinator.
+    let coords = cfg.roles.coordinators().to_vec();
+    let c = coords[rng.gen_range(0..coords.len())];
+    let down = rng.gen_range(200..1_000);
+    sim.crash_at(SimTime(down), c);
+    sim.recover_at(SimTime(down + rng.gen_range(200..900)), c);
+    // A transient partition separating two acceptors.
+    let cut_at = rng.gen_range(300..1_000);
+    sim.partition_at(
+        SimTime(cut_at),
+        vec![accs[0], accs[1]],
+        vec![accs[2], accs[3], accs[4]],
+    );
+    sim.heal_at(SimTime(cut_at + rng.gen_range(200..600)));
+
+    // Long quiet tail for convergence.
+    sim.run_until(SimTime(12_000));
+    (cfg, sim)
+}
+
+#[test]
+fn chaos_commuting_commands_multicoordinated() {
+    for seed in 0..15u64 {
+        let (cfg, sim) = chaos_run::<CmdSet<u32>>(
+            seed,
+            Policy::MultiCoordinated,
+            CollisionPolicy::Coordinated,
+            6,
+        );
+        assert_safety(&sim, &cfg, &[0, 1, 2, 3, 4, 5]);
+        let l: CmdSet<u32> = learned(&sim, &cfg, 0);
+        assert_eq!(
+            l.count(),
+            6,
+            "seed {seed}: liveness after healing (learned {l:?})"
+        );
+    }
+}
+
+#[test]
+fn chaos_total_order_multicoordinated() {
+    for seed in 0..15u64 {
+        let (cfg, sim) = chaos_run::<CmdSeq<u32>>(
+            seed,
+            Policy::MultiCoordinated,
+            CollisionPolicy::Coordinated,
+            5,
+        );
+        assert_safety(&sim, &cfg, &[0, 1, 2, 3, 4]);
+        let a: CmdSeq<u32> = learned(&sim, &cfg, 0);
+        let b: CmdSeq<u32> = learned(&sim, &cfg, 1);
+        assert!(a.le(&b) || b.le(&a), "seed {seed}: total order violated");
+        assert_eq!(a.count(), 5, "seed {seed}: liveness (learned {a:?})");
+    }
+}
+
+#[test]
+fn chaos_consensus_single_coordinated() {
+    for seed in 0..10u64 {
+        let (cfg, sim) = chaos_run::<SingleDecree<u32>>(
+            seed,
+            Policy::SingleCoordinated,
+            CollisionPolicy::Coordinated,
+            3,
+        );
+        assert_safety(&sim, &cfg, &[0, 1, 2]);
+        let a: SingleDecree<u32> = learned(&sim, &cfg, 0);
+        assert!(a.value().is_some(), "seed {seed}: consensus never decided");
+    }
+}
+
+#[test]
+fn chaos_fast_rounds() {
+    for seed in 0..10u64 {
+        let (cfg, sim) = chaos_run::<SingleDecree<u32>>(
+            seed,
+            Policy::FastThenClassic,
+            CollisionPolicy::Coordinated,
+            3,
+        );
+        assert_safety(&sim, &cfg, &[0, 1, 2]);
+        let a: SingleDecree<u32> = learned(&sim, &cfg, 0);
+        assert!(a.value().is_some(), "seed {seed}: fast consensus undecided");
+    }
+}
+
+/// Stability: a learner's value only ever grows. We check by sampling the
+/// learned value at several points in virtual time.
+#[test]
+fn stability_under_chaos() {
+    for seed in 0..6u64 {
+        let cfg = Arc::new(DeployConfig::simple(2, 3, 5, 2, Policy::MultiCoordinated));
+        let net = NetConfig::lockstep()
+            .with_delay(DelayDist::Uniform(1, 5))
+            .with_loss(0.05);
+        let mut sim: Sim<Msg<CmdSet<u32>>> = Sim::new(seed, net);
+        deploy(&mut sim, &cfg);
+        for i in 0..8u32 {
+            propose_at(&mut sim, &cfg, SimTime(100 + 37 * i as u64), 0, i);
+        }
+        let mut prev: CmdSet<u32> = CmdSet::bottom();
+        for checkpoint in [500u64, 1_000, 2_000, 4_000, 8_000] {
+            sim.run_until(SimTime(checkpoint));
+            let cur: CmdSet<u32> = learned(&sim, &cfg, 0);
+            assert!(
+                prev.le(&cur),
+                "seed {seed}: STABILITY violated at t={checkpoint}: {prev:?} → {cur:?}"
+            );
+            prev = cur;
+        }
+    }
+}
+
+/// Duplicated client submissions (same command proposed repeatedly) must
+/// not confuse the protocol: learned once, counted once.
+#[test]
+fn duplicate_proposals_are_idempotent() {
+    let cfg = Arc::new(DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated));
+    let mut sim: Sim<Msg<CmdSet<u32>>> = Sim::new(5, NetConfig::lan());
+    deploy(&mut sim, &cfg);
+    for t in [100u64, 130, 160, 190] {
+        propose_at(&mut sim, &cfg, SimTime(t), 0, 7);
+    }
+    sim.run_until(SimTime(1_000));
+    let l: CmdSet<u32> = learned(&sim, &cfg, 0);
+    assert_eq!(l.count(), 1);
+    assert_safety(&sim, &cfg, &[7]);
+}
+
+/// A learner that joins the action late (messages to it dropped by a
+/// partition) still converges thanks to retransmission.
+#[test]
+fn partitioned_learner_catches_up() {
+    let cfg = Arc::new(DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated));
+    let mut sim: Sim<Msg<CmdSet<u32>>> = Sim::new(5, NetConfig::lockstep());
+    deploy(&mut sim, &cfg);
+    let lonely = cfg.roles.learners()[1];
+    let everyone_else: Vec<ProcessId> = sim
+        .processes()
+        .into_iter()
+        .filter(|&p| p != lonely && p != CLIENT)
+        .collect();
+    sim.partition_at(SimTime(50), vec![lonely], everyone_else);
+    propose_at(&mut sim, &cfg, SimTime(100), 0, 1);
+    propose_at(&mut sim, &cfg, SimTime(150), 0, 2);
+    sim.run_until(SimTime(400));
+    assert_eq!(learned::<CmdSet<u32>>(&sim, &cfg, 1).count(), 0);
+    sim.heal_at(SimTime(500));
+    sim.run_until(SimTime(3_000));
+    assert_eq!(
+        learned::<CmdSet<u32>>(&sim, &cfg, 1).count(),
+        2,
+        "lonely learner must catch up after healing"
+    );
+}

@@ -1,0 +1,104 @@
+//! Shared cluster harness for the core integration tests: deploys a full
+//! agent set into a simulator and offers propose/inspect helpers.
+
+use mcpaxos_actor::ProcessId;
+use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Proposer};
+use mcpaxos_cstruct::CStruct;
+use mcpaxos_simnet::Sim;
+use std::sync::Arc;
+
+/// The pseudo-client process id used as the `from` of injected proposals.
+pub const CLIENT: ProcessId = ProcessId(9_999);
+
+/// Deploys every role of `cfg` into `sim`.
+pub fn deploy<C: CStruct>(sim: &mut Sim<Msg<C>>, cfg: &Arc<DeployConfig>) {
+    for &p in cfg.roles.proposers() {
+        let cfg = cfg.clone();
+        sim.add_process(p, move || Box::new(Proposer::<C>::new(cfg.clone())));
+    }
+    for &p in cfg.roles.coordinators() {
+        let cfg = cfg.clone();
+        sim.add_process(p, move || Box::new(Coordinator::<C>::new(cfg.clone(), p)));
+    }
+    for &p in cfg.roles.acceptors() {
+        let cfg = cfg.clone();
+        sim.add_process(p, move || Box::new(Acceptor::<C>::new(cfg.clone())));
+    }
+    for &p in cfg.roles.learners() {
+        let cfg = cfg.clone();
+        sim.add_process(p, move || Box::new(Learner::<C>::new(cfg.clone())));
+    }
+}
+
+/// Injects `cmd` at the `idx`-th proposer at time `at`.
+pub fn propose_at<C: CStruct>(
+    sim: &mut Sim<Msg<C>>,
+    cfg: &Arc<DeployConfig>,
+    at: mcpaxos_actor::SimTime,
+    idx: usize,
+    cmd: C::Cmd,
+) {
+    let p = cfg.roles.proposers()[idx % cfg.roles.proposers().len()];
+    sim.inject_at(
+        at,
+        p,
+        CLIENT,
+        Msg::Propose {
+            cmd,
+            acc_quorum: None,
+        },
+    );
+}
+
+/// The learned c-struct of the `idx`-th learner.
+pub fn learned<C: CStruct>(sim: &Sim<Msg<C>>, cfg: &Arc<DeployConfig>, idx: usize) -> C {
+    let l = cfg.roles.learners()[idx];
+    sim.actor::<Learner<C>>(l)
+        .expect("learner exists")
+        .learned()
+        .clone()
+}
+
+/// The `(time, count)` growth history of the `idx`-th learner.
+pub fn learn_history<C: CStruct>(
+    sim: &Sim<Msg<C>>,
+    cfg: &Arc<DeployConfig>,
+    idx: usize,
+) -> Vec<(mcpaxos_actor::SimTime, usize)> {
+    let l = cfg.roles.learners()[idx];
+    sim.actor::<Learner<C>>(l)
+        .expect("learner exists")
+        .history()
+        .to_vec()
+}
+
+/// Asserts the three safety properties of generalized consensus over the
+/// current learner states: nontriviality (every learned command was
+/// proposed), stability is enforced by construction (learned only grows
+/// through lubs), and consistency (all learned values pairwise
+/// compatible).
+pub fn assert_safety<C: CStruct>(
+    sim: &Sim<Msg<C>>,
+    cfg: &Arc<DeployConfig>,
+    proposed: &[C::Cmd],
+) {
+    let vals: Vec<C> = (0..cfg.roles.learners().len())
+        .map(|i| learned(sim, cfg, i))
+        .collect();
+    for v in &vals {
+        for c in v.commands() {
+            assert!(
+                proposed.contains(&c),
+                "NONTRIVIALITY violated: learned {c:?} was never proposed"
+            );
+        }
+    }
+    for (i, a) in vals.iter().enumerate() {
+        for b in &vals[i + 1..] {
+            assert!(
+                a.compatible(b),
+                "CONSISTENCY violated: learners diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Command histories: the Generic Broadcast c-struct (§3.3 of the paper).
+//!
+//! A *command history* is a partially ordered set of commands in which every
+//! pair of *conflicting* commands is ordered. Following §3.3.1, a history is
+//! represented as a sequence: the partial order is the transitive closure of
+//! the edges `a ≺ b` for conflicting `a # b` with `a` occurring before `b`
+//! in the sequence. Several sequences may represent the same poset (they
+//! differ only in the order of commuting commands); [`CommandHistory`]'s
+//! `Eq` implementation compares the *posets*, not the sequences.
+//!
+//! The lattice operators are the paper's: `Prefix` (pairwise glb),
+//! `AreCompatible`, and the compatible-merge lub, transcribed from the
+//! pseudo-TLA of §3.3.1 into iterative Rust.
+
+use crate::traits::{CStruct, Command};
+use mcpaxos_actor::wire::{Wire, WireError};
+
+/// The conflict relation `#` over commands.
+///
+/// Two commands conflict when their relative execution order matters (e.g.
+/// two writes to the same key). The relation must be symmetric; it need not
+/// be reflexive, although in practice a command usually conflicts with
+/// itself. Implementors carry whatever data the decision needs (keys,
+/// tables, colours, ...).
+pub trait Conflict {
+    /// Whether `self` and `other` do **not** commute.
+    fn conflicts(&self, other: &Self) -> bool;
+}
+
+/// A command history: a poset of commands represented as a sequence
+/// (§3.3.1).
+#[derive(Clone, Debug)]
+pub struct CommandHistory<C> {
+    seq: Vec<C>,
+}
+
+impl<C> Default for CommandHistory<C> {
+    fn default() -> Self {
+        CommandHistory { seq: Vec::new() }
+    }
+}
+
+impl<C: Conflict + Eq + Clone> CommandHistory<C> {
+    /// Creates the empty history (`⊥`).
+    pub fn new() -> Self {
+        CommandHistory { seq: Vec::new() }
+    }
+
+    /// A linear extension of the history: the representing sequence itself.
+    ///
+    /// Conflicting commands appear in their partial-order direction;
+    /// commuting commands appear in an arbitrary (but deterministic for
+    /// this value) order. Replicas executing this sequence apply
+    /// conflicting commands in the agreed order, which is all generic
+    /// broadcast promises.
+    pub fn as_slice(&self) -> &[C] {
+        &self.seq
+    }
+
+    /// Iterates over a linear extension of the history.
+    pub fn iter(&self) -> impl Iterator<Item = &C> {
+        self.seq.iter()
+    }
+
+    /// Whether `a` precedes `b` in the history's partial order, i.e.
+    /// whether there is a chain of conflicting commands from `a` to `b`
+    /// with increasing sequence positions.
+    pub fn orders_before(&self, a: &C, b: &C) -> bool {
+        let (ia, ib) = match (self.index_of(a), self.index_of(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        if ia >= ib {
+            return false;
+        }
+        // Transitive closure over positions in (ia..=ib]: reached[k] is true
+        // if seq[k] is ordered after seq[ia].
+        let mut reached = vec![false; self.seq.len()];
+        reached[ia] = true;
+        for k in ia + 1..=ib {
+            if (ia..k).any(|j| reached[j] && self.seq[j].conflicts(&self.seq[k])) {
+                reached[k] = true;
+            }
+        }
+        reached[ib]
+    }
+
+    fn index_of(&self, c: &C) -> Option<usize> {
+        self.seq.iter().position(|x| x == c)
+    }
+
+    /// `Descendants(head, tail)` from §3.3.1: removes from `tail` every
+    /// command transitively ordered after `head`, returning the remainder.
+    fn strip_descendants(tail: &[C], head: &C) -> Vec<C> {
+        let mut ancestors: Vec<&C> = vec![head];
+        let mut out = Vec::new();
+        for x in tail {
+            if ancestors.iter().any(|a| x.conflicts(a)) {
+                ancestors.push(x);
+            } else {
+                out.push(x.clone());
+            }
+        }
+        out
+    }
+
+    /// Scans `i` for `head`: `Ok(j)` if `i[j] == head` and no conflicting
+    /// command precedes it, `Err(true)` if a conflicting command is found
+    /// first, `Err(false)` if `head` does not occur.
+    fn scan_for(head: &C, i: &[C]) -> Result<usize, bool> {
+        for (j, x) in i.iter().enumerate() {
+            if x == head {
+                return Ok(j);
+            }
+            if head.conflicts(x) {
+                return Err(true);
+            }
+        }
+        Err(false)
+    }
+
+    /// The paper's `Prefix(H, I)` operator: the glb of two histories.
+    fn prefix(h: &[C], i: &[C]) -> Vec<C> {
+        let mut h = h.to_vec();
+        let mut i = i.to_vec();
+        let mut out = Vec::new();
+        while !h.is_empty() && !i.is_empty() {
+            let head = h[0].clone();
+            match Self::scan_for(&head, &i) {
+                Ok(j) => {
+                    // Head is in the common prefix.
+                    out.push(head);
+                    h.remove(0);
+                    i.remove(j);
+                }
+                _ => {
+                    // Head (and everything ordered after it) is not common.
+                    h = Self::strip_descendants(&h[1..], &head);
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's `AreCompatible(H, I, A)` operator.
+    fn compatible_seq(h: &[C], i: &[C]) -> bool {
+        let mut h = h.to_vec();
+        let mut i = i.to_vec();
+        let mut skipped: Vec<C> = Vec::new(); // the accumulator A
+        while !h.is_empty() && !i.is_empty() {
+            let head = h.remove(0);
+            match Self::scan_for(&head, &i) {
+                Err(true) => return false, // ordered differently in h and i
+                Ok(j) => {
+                    // Common command: it must not conflict with an h-only
+                    // command that precedes it in h (that command would have
+                    // to both precede and follow it in any upper bound).
+                    if skipped.iter().any(|f| head.conflicts(f)) {
+                        return false;
+                    }
+                    i.remove(j);
+                }
+                Err(false) => skipped.push(head),
+            }
+        }
+        true
+    }
+
+    /// The paper's lub of two *compatible* histories: `h`'s sequence
+    /// followed by the commands of `i` not in `h`, in `i`'s order.
+    fn lub_seq(h: &[C], i: &[C]) -> Vec<C> {
+        let mut out = h.to_vec();
+        for x in i {
+            if !out.contains(x) {
+                out.push(x.clone());
+            }
+        }
+        out
+    }
+}
+
+impl<C: Conflict + Eq + Clone> PartialEq for CommandHistory<C> {
+    /// Poset equality: same command set and the same orientation for every
+    /// conflicting pair. (The partial order is generated by conflict edges,
+    /// so agreeing on edge orientations implies equal transitive closures.)
+    fn eq(&self, other: &Self) -> bool {
+        if self.seq.len() != other.seq.len() {
+            return false;
+        }
+        // Same elements.
+        for x in &self.seq {
+            if !other.seq.contains(x) {
+                return false;
+            }
+        }
+        // Same orientation for conflicting pairs.
+        for (ia, a) in self.seq.iter().enumerate() {
+            for b in &self.seq[ia + 1..] {
+                if a.conflicts(b) {
+                    let ja = other.index_of(a).expect("checked above");
+                    let jb = other.index_of(b).expect("checked above");
+                    if ja > jb {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<C: Conflict + Eq + Clone> Eq for CommandHistory<C> {}
+
+impl<C: Conflict + Eq + Clone> FromIterator<C> for CommandHistory<C> {
+    fn from_iter<I: IntoIterator<Item = C>>(iter: I) -> Self {
+        let mut h = CommandHistory::new();
+        for c in iter {
+            if !h.seq.contains(&c) {
+                h.seq.push(c);
+            }
+        }
+        h
+    }
+}
+
+impl<C: Command + Conflict> CStruct for CommandHistory<C> {
+    type Cmd = C;
+
+    fn bottom() -> Self {
+        Self::new()
+    }
+
+    fn append(&mut self, cmd: C) {
+        if !self.seq.contains(&cmd) {
+            self.seq.push(cmd);
+        }
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        // self ⊑ other iff other = self • σ for some σ, i.e.:
+        // (1) every command of self occurs in other;
+        // (2) conflicting pairs within self keep their orientation in other;
+        // (3) every other-only command conflicting with a self command is
+        //     ordered after it in other (appends go at the end).
+        for x in &self.seq {
+            if !other.seq.contains(x) {
+                return false;
+            }
+        }
+        for (ia, a) in self.seq.iter().enumerate() {
+            for b in &self.seq[ia + 1..] {
+                if a.conflicts(b) {
+                    let ja = other.index_of(a).expect("checked above");
+                    let jb = other.index_of(b).expect("checked above");
+                    if ja > jb {
+                        return false;
+                    }
+                }
+            }
+        }
+        for (jx, x) in other.seq.iter().enumerate() {
+            if self.seq.contains(x) {
+                continue;
+            }
+            for y in &self.seq {
+                if x.conflicts(y) {
+                    let jy = other.index_of(y).expect("y is in other");
+                    if jx < jy {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        CommandHistory {
+            seq: Self::prefix(&self.seq, &other.seq),
+        }
+    }
+
+    fn lub(&self, other: &Self) -> Option<Self> {
+        if Self::compatible_seq(&self.seq, &other.seq) {
+            Some(CommandHistory {
+                seq: Self::lub_seq(&self.seq, &other.seq),
+            })
+        } else {
+            None
+        }
+    }
+
+    fn compatible(&self, other: &Self) -> bool {
+        Self::compatible_seq(&self.seq, &other.seq)
+    }
+
+    fn contains(&self, cmd: &C) -> bool {
+        self.seq.contains(cmd)
+    }
+
+    fn commands(&self) -> Vec<C> {
+        self.seq.clone()
+    }
+
+    fn count(&self) -> usize {
+        self.seq.len()
+    }
+}
+
+impl<C: Wire> Wire for CommandHistory<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CommandHistory {
+            seq: Vec::<C>::decode(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::wire::{from_bytes, to_bytes};
+
+    /// Test command: conflicts iff same key; payload distinguishes them.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct K(u32, u32); // (key, uid)
+
+    impl Conflict for K {
+        fn conflicts(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+
+    impl Wire for K {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+        fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(K(u32::decode(input)?, u32::decode(input)?))
+        }
+    }
+
+    fn h(cmds: &[K]) -> CommandHistory<K> {
+        cmds.iter().cloned().collect()
+    }
+
+    #[test]
+    fn poset_equality_ignores_commuting_order() {
+        // Keys 1 and 2 commute, so <a,b> == <b,a>.
+        let a = K(1, 0);
+        let b = K(2, 0);
+        assert_eq!(h(&[a.clone(), b.clone()]), h(&[b.clone(), a.clone()]));
+        // Same key: order matters.
+        let c = K(1, 1);
+        assert_ne!(h(&[a.clone(), c.clone()]), h(&[c, a]));
+    }
+
+    #[test]
+    fn le_matches_append_semantics() {
+        let a = K(1, 0);
+        let b = K(2, 0);
+        let c = K(1, 1); // conflicts with a
+        let base = h(&[a.clone()]);
+        // base • b and base • c both extend base.
+        assert!(base.le(&h(&[a.clone(), b.clone()])));
+        assert!(base.le(&h(&[a.clone(), c.clone()])));
+        // <c, a> does not extend <a>: c precedes the conflicting a.
+        assert!(!base.le(&h(&[c.clone(), a.clone()])));
+        // Commuting reorder still extends: <b, a> extends <a>.
+        assert!(base.le(&h(&[b, a.clone()])));
+        // Missing element: <c> does not extend <a>.
+        assert!(!base.le(&h(&[c])));
+    }
+
+    #[test]
+    fn glb_of_diverging_histories() {
+        let a = K(1, 0);
+        let x = K(1, 1);
+        let y = K(1, 2);
+        // Both histories start with a, then order x and y differently.
+        let h1 = h(&[a.clone(), x.clone(), y.clone()]);
+        let h2 = h(&[a.clone(), y.clone(), x.clone()]);
+        assert_eq!(h1.glb(&h2), h(&[a.clone()]));
+        assert!(!h1.compatible(&h2));
+        assert_eq!(h1.lub(&h2), None);
+        // Diverging on commuting commands: fully compatible.
+        let b = K(2, 0);
+        let h3 = h(&[a.clone(), b.clone()]);
+        let h4 = h(&[b.clone(), a.clone()]);
+        assert!(h3.compatible(&h4));
+        assert_eq!(h3.lub(&h4).unwrap(), h3);
+        assert_eq!(h3.glb(&h4), h3);
+    }
+
+    #[test]
+    fn glb_is_lower_bound() {
+        let a = K(1, 0);
+        let b = K(2, 0);
+        let x = K(1, 1);
+        let h1 = h(&[a.clone(), b.clone(), x.clone()]);
+        let h2 = h(&[b.clone(), a.clone()]);
+        let g = h1.glb(&h2);
+        assert!(g.le(&h1));
+        assert!(g.le(&h2));
+        assert_eq!(g, h(&[a, b]));
+    }
+
+    #[test]
+    fn lub_is_upper_bound_of_compatible() {
+        let a = K(1, 0);
+        let b = K(2, 0);
+        let c = K(3, 0);
+        let h1 = h(&[a.clone(), b.clone()]);
+        let h2 = h(&[a.clone(), c.clone()]);
+        let l = h1.lub(&h2).unwrap();
+        assert!(h1.le(&l));
+        assert!(h2.le(&l));
+        assert_eq!(l.count(), 3);
+    }
+
+    #[test]
+    fn incompatibility_via_skipped_ancestor() {
+        // h1 = <x, c> where x # c; h2 = <c>. Any upper bound of h1 orders
+        // x before c, but extending h2 with x puts x after c.
+        let x = K(5, 0);
+        let c = K(5, 1);
+        let h1 = h(&[x.clone(), c.clone()]);
+        let h2 = h(&[c.clone()]);
+        assert!(!h1.compatible(&h2));
+        assert!(!h2.compatible(&h1));
+        assert_eq!(h1.glb(&h2), CommandHistory::bottom());
+    }
+
+    #[test]
+    fn orders_before_is_transitive_closure() {
+        // a(k1) # b(k1), b conflicts c? b is k1, c is k2 — no. Chain via
+        // same-key conflicts: a(1) -> x(1) -> nothing.
+        let a = K(1, 0);
+        let x = K(1, 1);
+        let b = K(2, 0);
+        let hist = h(&[a.clone(), x.clone(), b.clone()]);
+        assert!(hist.orders_before(&a, &x));
+        assert!(!hist.orders_before(&x, &a));
+        assert!(!hist.orders_before(&a, &b)); // commuting: unordered
+        // Transitivity through a middle command conflicting with both.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct Chain(u32);
+        impl Conflict for Chain {
+            fn conflicts(&self, other: &Self) -> bool {
+                self.0.abs_diff(other.0) <= 1
+            }
+        }
+        impl Wire for Chain {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(Chain(u32::decode(input)?))
+            }
+        }
+        let hist: CommandHistory<Chain> = [Chain(0), Chain(1), Chain(2)].into_iter().collect();
+        // 0 # 1, 1 # 2, but 0 and 2 do not conflict directly: still ordered
+        // through 1.
+        assert!(hist.orders_before(&Chain(0), &Chain(2)));
+    }
+
+    #[test]
+    fn append_dedups() {
+        let mut hist = h(&[K(1, 0)]);
+        hist.append(K(1, 0));
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let hist = h(&[K(1, 0), K(2, 0), K(1, 1)]);
+        let back: CommandHistory<K> = from_bytes(&to_bytes(&hist)).unwrap();
+        assert_eq!(back, hist);
+    }
+
+    #[test]
+    fn bottom_relates_to_everything() {
+        let bot = CommandHistory::<K>::bottom();
+        let hist = h(&[K(1, 0), K(1, 1)]);
+        assert!(bot.le(&hist));
+        assert!(bot.compatible(&hist));
+        assert_eq!(bot.lub(&hist).unwrap(), hist);
+        assert_eq!(bot.glb(&hist), bot);
+        assert!(bot.is_bottom());
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`CStruct`] trait and lattice helpers.
+
+use mcpaxos_actor::wire::Wire;
+use std::fmt;
+
+/// A command that can be appended to a c-struct.
+///
+/// This is a blanket-implemented alias for the bounds every command type
+/// needs: value semantics (`Clone`/`Eq`), debuggability, durability
+/// ([`Wire`], because acceptors persist accepted c-structs) and `'static`
+/// (c-structs travel inside messages owned by the runtime).
+pub trait Command: Clone + Eq + fmt::Debug + Wire + Send + 'static {}
+
+impl<T: Clone + Eq + fmt::Debug + Wire + Send + 'static> Command for T {}
+
+/// A command structure set, in the sense of Lamport's CS0–CS4 axioms
+/// (reproduced in §2.3.1 of the Multicoordinated Paxos paper).
+///
+/// Implementations define:
+///
+/// * a bottom element [`CStruct::bottom`] (`⊥`),
+/// * the append operator [`CStruct::append`] (`v • C`, axiom CS0),
+/// * the extension partial order [`CStruct::le`] (`⊑`, axiom CS2),
+/// * greatest lower bounds [`CStruct::glb`] and least upper bounds
+///   [`CStruct::lub`] for pairs (axiom CS3 requires these to exist — the
+///   lub only for compatible pairs, hence the `Option`), and
+/// * command containment [`CStruct::contains`] (axiom CS4 relates it to
+///   glbs).
+///
+/// The protocol layers never construct c-structs except through `bottom`,
+/// `append`, `glb` and `lub`, so axiom CS1 (every c-struct is constructible
+/// from commands) holds by construction.
+pub trait CStruct: Clone + Eq + fmt::Debug + Wire + Send + 'static {
+    /// The command type appended to this c-struct.
+    type Cmd: Command;
+
+    /// The bottom element `⊥`: the c-struct constructible from no commands.
+    fn bottom() -> Self;
+
+    /// Appends a command in place: `self := self • cmd`.
+    fn append(&mut self, cmd: Self::Cmd);
+
+    /// Returns `self • cmd` without mutating `self`.
+    fn appended(&self, cmd: &Self::Cmd) -> Self {
+        let mut v = self.clone();
+        v.append(cmd.clone());
+        v
+    }
+
+    /// Appends a sequence of commands: `self • ⟨c₁, …, cₘ⟩`.
+    fn append_all<I: IntoIterator<Item = Self::Cmd>>(&mut self, cmds: I) {
+        for c in cmds {
+            self.append(c);
+        }
+    }
+
+    /// The extension relation: `self ⊑ other` (there is a command sequence
+    /// `σ` with `other = self • σ`).
+    fn le(&self, other: &Self) -> bool;
+
+    /// The greatest lower bound `self ⊓ other`. Always exists (axiom CS3).
+    fn glb(&self, other: &Self) -> Self;
+
+    /// The least upper bound `self ⊔ other`, or `None` if `self` and
+    /// `other` are incompatible (have no common upper bound).
+    fn lub(&self, other: &Self) -> Option<Self>;
+
+    /// Whether `self` and `other` have a common upper bound.
+    fn compatible(&self, other: &Self) -> bool {
+        self.lub(other).is_some()
+    }
+
+    /// Whether this c-struct contains `cmd`.
+    fn contains(&self, cmd: &Self::Cmd) -> bool;
+
+    /// The set of commands this c-struct is constructible from.
+    fn commands(&self) -> Vec<Self::Cmd>;
+
+    /// Number of commands contained.
+    fn count(&self) -> usize {
+        self.commands().len()
+    }
+
+    /// Whether this c-struct equals `⊥`.
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+}
+
+/// Greatest lower bound of a non-empty collection of c-structs.
+///
+/// # Panics
+///
+/// Panics if `items` is empty: the glb of the empty set would be the top
+/// element, which c-struct sets do not have. Protocol call sites always
+/// pass quorum-derived non-empty sets.
+pub fn glb_all<C: CStruct>(items: impl IntoIterator<Item = C>) -> C {
+    let mut it = items.into_iter();
+    let first = it.next().expect("glb_all requires a non-empty collection");
+    it.fold(first, |acc, x| acc.glb(&x))
+}
+
+/// Least upper bound of a non-empty collection of c-structs, or `None` if
+/// the collection is not compatible.
+///
+/// # Panics
+///
+/// Panics if `items` is empty (the lub of the empty set is `⊥`, but an
+/// empty call indicates a protocol bug, so it is rejected loudly).
+pub fn lub_all<C: CStruct>(items: impl IntoIterator<Item = C>) -> Option<C> {
+    let mut it = items.into_iter();
+    let first = it.next().expect("lub_all requires a non-empty collection");
+    it.try_fold(first, |acc, x| acc.lub(&x))
+}
+
+/// Whether every pair in `items` is compatible.
+///
+/// Note that for general c-struct sets pairwise compatibility of a set is
+/// implied by CS3 to give a lub for the whole set; this helper checks the
+/// pairwise condition directly.
+pub fn compatible_all<C: CStruct>(items: &[C]) -> bool {
+    for (i, a) in items.iter().enumerate() {
+        for b in &items[i + 1..] {
+            if !a.compatible(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CmdSet;
+
+    #[test]
+    fn glb_all_folds() {
+        let mk = |cmds: &[u32]| {
+            let mut s = CmdSet::bottom();
+            for &c in cmds {
+                s.append(c);
+            }
+            s
+        };
+        let g = glb_all(vec![mk(&[1, 2, 3]), mk(&[2, 3, 4]), mk(&[2, 5])]);
+        assert_eq!(g, mk(&[2]));
+        let l = lub_all(vec![mk(&[1]), mk(&[2])]).unwrap();
+        assert_eq!(l, mk(&[1, 2]));
+        assert!(compatible_all(&[mk(&[1]), mk(&[2]), mk(&[3])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn glb_all_empty_panics() {
+        let _ = glb_all(Vec::<CmdSet<u32>>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn lub_all_empty_panics() {
+        let _ = lub_all(Vec::<CmdSet<u32>>::new());
+    }
+
+    #[test]
+    fn appended_is_pure() {
+        let a = CmdSet::<u32>::bottom();
+        let b = a.appended(&7);
+        assert!(a.is_bottom());
+        assert!(!b.is_bottom());
+        assert!(b.contains(&7));
+        assert_eq!(b.count(), 1);
+    }
+}

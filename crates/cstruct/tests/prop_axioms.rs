@@ -1,0 +1,271 @@
+//! Property-based verification of the c-struct axioms CS0–CS4 for all four
+//! instantiations, plus differential tests pinning `CommandHistory` against
+//! brute-force oracles and against `CmdSeq`/`CmdSet` in its degenerate
+//! configurations.
+
+use mcpaxos_actor::wire::{Wire, WireError};
+use mcpaxos_cstruct::axioms::check_all;
+use mcpaxos_cstruct::{CStruct, CmdSeq, CmdSet, CommandHistory, Conflict, SingleDecree};
+use proptest::prelude::*;
+
+/// A command whose conflict relation is "same key": models operations on a
+/// keyed store where only same-key operations interfere.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct KeyCmd {
+    key: u8,
+    uid: u16,
+}
+
+impl Conflict for KeyCmd {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Wire for KeyCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.uid.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(KeyCmd {
+            key: u8::decode(input)?,
+            uid: u16::decode(input)?,
+        })
+    }
+}
+
+/// A command where everything conflicts (total order).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct TotalCmd(u16);
+
+impl Conflict for TotalCmd {
+    fn conflicts(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Wire for TotalCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TotalCmd(u16::decode(input)?))
+    }
+}
+
+/// A command where nothing conflicts (free commutation).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct FreeCmd(u16);
+
+impl Conflict for FreeCmd {
+    fn conflicts(&self, _other: &Self) -> bool {
+        false
+    }
+}
+
+impl Wire for FreeCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(FreeCmd(u16::decode(input)?))
+    }
+}
+
+fn key_cmd() -> impl Strategy<Value = KeyCmd> {
+    (0u8..3, 0u16..6).prop_map(|(key, uid)| KeyCmd { key, uid })
+}
+
+fn key_history(max: usize) -> impl Strategy<Value = CommandHistory<KeyCmd>> {
+    prop::collection::vec(key_cmd(), 0..max).prop_map(|v| v.into_iter().collect())
+}
+
+/// Brute-force compatibility oracle: two histories are compatible iff some
+/// permutation of the union of their commands extends both.
+fn brute_force_compatible(a: &CommandHistory<KeyCmd>, b: &CommandHistory<KeyCmd>) -> bool {
+    let mut union: Vec<KeyCmd> = a.commands();
+    for c in b.commands() {
+        if !union.contains(&c) {
+            union.push(c);
+        }
+    }
+    permutations(&union)
+        .into_iter()
+        .any(|perm| {
+            let w: CommandHistory<KeyCmd> = perm.into_iter().collect();
+            a.le(&w) && b.le(&w)
+        })
+}
+
+fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head.clone());
+            out.push(tail);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn single_decree_axioms(a in 0u32..4, b in 0u32..4, c in 0u32..4, bots in 0u8..8) {
+        let mk = |v: u32, bot: bool| if bot { SingleDecree::bottom() } else { SingleDecree::decided(v) };
+        let sa = mk(a, bots & 1 != 0);
+        let sb = mk(b, bots & 2 != 0);
+        let sc = mk(c, bots & 4 != 0);
+        check_all(&sa, &sb, &sc, &a);
+    }
+
+    #[test]
+    fn cmdset_axioms(
+        a in prop::collection::btree_set(0u32..8, 0..5),
+        b in prop::collection::btree_set(0u32..8, 0..5),
+        c in prop::collection::btree_set(0u32..8, 0..5),
+        cmd in 0u32..8,
+    ) {
+        let sa: CmdSet<u32> = a.into_iter().collect();
+        let sb: CmdSet<u32> = b.into_iter().collect();
+        let sc: CmdSet<u32> = c.into_iter().collect();
+        check_all(&sa, &sb, &sc, &cmd);
+    }
+
+    #[test]
+    fn cmdseq_axioms(
+        a in prop::collection::vec(0u32..6, 0..5),
+        b in prop::collection::vec(0u32..6, 0..5),
+        c in prop::collection::vec(0u32..6, 0..5),
+        cmd in 0u32..6,
+    ) {
+        let sa: CmdSeq<u32> = a.into_iter().collect();
+        let sb: CmdSeq<u32> = b.into_iter().collect();
+        let sc: CmdSeq<u32> = c.into_iter().collect();
+        check_all(&sa, &sb, &sc, &cmd);
+    }
+
+    #[test]
+    fn history_axioms(
+        a in key_history(5),
+        b in key_history(5),
+        c in key_history(5),
+        cmd in key_cmd(),
+    ) {
+        check_all(&a, &b, &c, &cmd);
+    }
+
+    /// Extensions of a common base must have a glb at least the base, and
+    /// `base ⊑ base • σ` always holds.
+    #[test]
+    fn history_extension_properties(
+        base in key_history(4),
+        s1 in prop::collection::vec(key_cmd(), 0..4),
+        s2 in prop::collection::vec(key_cmd(), 0..4),
+    ) {
+        let mut g1 = base.clone();
+        g1.append_all(s1);
+        let mut g2 = base.clone();
+        g2.append_all(s2);
+        prop_assert!(base.le(&g1));
+        prop_assert!(base.le(&g2));
+        let g = g1.glb(&g2);
+        prop_assert!(base.le(&g), "glb {g:?} lost common base {base:?}");
+        // A history and its extension are always compatible, with lub = ext.
+        let l = base.lub(&g1).expect("base compatible with own extension");
+        prop_assert_eq!(l, g1);
+    }
+
+    /// The paper's AreCompatible operator agrees with the brute-force
+    /// "exists a common upper bound" oracle.
+    #[test]
+    fn history_compatibility_matches_brute_force(
+        a in key_history(4),
+        b in key_history(4),
+    ) {
+        prop_assume!(a.count() + b.count() <= 7); // keep permutations cheap
+        let fast = a.compatible(&b);
+        let brute = brute_force_compatible(&a, &b);
+        prop_assert_eq!(fast, brute, "AreCompatible={} oracle={} a={:?} b={:?}", fast, brute, &a, &b);
+    }
+
+    /// With an always-conflicting relation, histories behave exactly like
+    /// plain sequences (total order).
+    #[test]
+    fn history_degenerates_to_cmdseq(
+        a in prop::collection::vec(0u16..6, 0..6),
+        b in prop::collection::vec(0u16..6, 0..6),
+    ) {
+        let ha: CommandHistory<TotalCmd> = a.iter().map(|&x| TotalCmd(x)).collect();
+        let hb: CommandHistory<TotalCmd> = b.iter().map(|&x| TotalCmd(x)).collect();
+        let sa: CmdSeq<u16> = a.iter().copied().collect();
+        let sb: CmdSeq<u16> = b.iter().copied().collect();
+        prop_assert_eq!(ha.le(&hb), sa.le(&sb));
+        prop_assert_eq!(ha.compatible(&hb), sa.compatible(&sb));
+        let gh: Vec<u16> = ha.glb(&hb).commands().into_iter().map(|c| c.0).collect();
+        let gs: Vec<u16> = sa.glb(&sb).commands();
+        prop_assert_eq!(gh, gs);
+        match (ha.lub(&hb), sa.lub(&sb)) {
+            (Some(lh), Some(ls)) => {
+                let lh: Vec<u16> = lh.commands().into_iter().map(|c| c.0).collect();
+                prop_assert_eq!(lh, ls.commands());
+            }
+            (None, None) => {}
+            (x, y) => prop_assert!(false, "lub disagreement: {:?} vs {:?}", x, y),
+        }
+    }
+
+    /// With a never-conflicting relation, histories behave exactly like
+    /// command sets (free commutation).
+    #[test]
+    fn history_degenerates_to_cmdset(
+        a in prop::collection::vec(0u16..6, 0..6),
+        b in prop::collection::vec(0u16..6, 0..6),
+    ) {
+        let ha: CommandHistory<FreeCmd> = a.iter().map(|&x| FreeCmd(x)).collect();
+        let hb: CommandHistory<FreeCmd> = b.iter().map(|&x| FreeCmd(x)).collect();
+        let sa: CmdSet<u16> = a.iter().copied().collect();
+        let sb: CmdSet<u16> = b.iter().copied().collect();
+        prop_assert_eq!(ha.le(&hb), sa.le(&sb));
+        // Histories of commuting commands are always compatible.
+        prop_assert!(ha.compatible(&hb));
+        let mut gh: Vec<u16> = ha.glb(&hb).commands().into_iter().map(|c| c.0).collect();
+        gh.sort_unstable();
+        prop_assert_eq!(gh, sa.glb(&sb).commands());
+        let mut lh: Vec<u16> = ha.lub(&hb).unwrap().commands().into_iter().map(|c| c.0).collect();
+        lh.sort_unstable();
+        prop_assert_eq!(lh, sa.lub(&sb).unwrap().commands());
+    }
+
+    /// Wire roundtrips for all instantiations.
+    #[test]
+    fn wire_roundtrips(
+        h in key_history(6),
+        seq in prop::collection::vec(0u32..100, 0..6),
+        set in prop::collection::btree_set(0u32..100, 0..6),
+        dec in prop::option::of(0u32..100),
+    ) {
+        use mcpaxos_actor::wire::{from_bytes, to_bytes};
+        let back: CommandHistory<KeyCmd> = from_bytes(&to_bytes(&h)).unwrap();
+        prop_assert_eq!(back, h);
+        let s: CmdSeq<u32> = seq.into_iter().collect();
+        let back: CmdSeq<u32> = from_bytes(&to_bytes(&s)).unwrap();
+        prop_assert_eq!(back, s);
+        let s: CmdSet<u32> = set.into_iter().collect();
+        let back: CmdSet<u32> = from_bytes(&to_bytes(&s)).unwrap();
+        prop_assert_eq!(back, s);
+        let s: SingleDecree<u32> = match dec {
+            None => SingleDecree::bottom(),
+            Some(v) => SingleDecree::decided(v),
+        };
+        let back: SingleDecree<u32> = from_bytes(&to_bytes(&s)).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}

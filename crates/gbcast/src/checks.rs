@@ -1,0 +1,134 @@
+//! Executable generic-broadcast properties (§3.3).
+//!
+//! Each function panics with a diagnostic on violation; they are written
+//! for test harnesses but are cheap enough for debug assertions in
+//! applications.
+
+use mcpaxos_cstruct::{CStruct, Command, CommandHistory, Conflict};
+
+/// Non-triviality: every delivered command was broadcast.
+pub fn check_nontriviality<C: Command + Conflict>(delivered: &[C], broadcast: &[C]) {
+    for c in delivered {
+        assert!(
+            broadcast.contains(c),
+            "NON-TRIVIALITY violated: delivered {c:?} was never broadcast"
+        );
+    }
+}
+
+/// Consistency: all learners' histories are pairwise compatible — in
+/// particular conflicting commands are delivered in the same order
+/// everywhere.
+pub fn check_consistency<C: Command + Conflict>(histories: &[CommandHistory<C>]) {
+    for (i, a) in histories.iter().enumerate() {
+        for (j, b) in histories.iter().enumerate().skip(i + 1) {
+            assert!(
+                a.compatible(b),
+                "CONSISTENCY violated between learners {i} and {j}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+/// Pairwise conflicting-order agreement, stated directly on delivery
+/// sequences (a more literal reading of the generic broadcast contract
+/// than compatibility): for every pair of conflicting commands delivered
+/// by two learners, the relative order matches.
+pub fn check_conflicting_order_agreement<C: Command + Conflict>(a: &[C], b: &[C]) {
+    for (ia, x) in a.iter().enumerate() {
+        for y in &a[ia + 1..] {
+            if !x.conflicts(y) {
+                continue;
+            }
+            let (jx, jy) = match (
+                b.iter().position(|c| c == x),
+                b.iter().position(|c| c == y),
+            ) {
+                (Some(jx), Some(jy)) => (jx, jy),
+                _ => continue, // one of them not delivered there (yet)
+            };
+            assert!(
+                jx < jy,
+                "ORDER violated: {x:?} before {y:?} at one learner but after at another"
+            );
+        }
+    }
+}
+
+/// Liveness (for quiesced test runs): every broadcast command was
+/// delivered by every learner.
+pub fn check_liveness<C: Command + Conflict>(histories: &[CommandHistory<C>], broadcast: &[C]) {
+    for (i, h) in histories.iter().enumerate() {
+        for c in broadcast {
+            assert!(
+                h.contains(c),
+                "LIVENESS violated: learner {i} never delivered {c:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::wire::{Wire, WireError};
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct K(u8, u8);
+    impl Conflict for K {
+        fn conflicts(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+    impl Wire for K {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+        fn decode(i: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(K(u8::decode(i)?, u8::decode(i)?))
+        }
+    }
+
+    fn h(cmds: &[K]) -> CommandHistory<K> {
+        cmds.iter().cloned().collect()
+    }
+
+    #[test]
+    fn passing_cases() {
+        let a = h(&[K(1, 0), K(2, 0), K(1, 1)]);
+        let b = h(&[K(2, 0), K(1, 0), K(1, 1)]); // commuting reorder only
+        check_consistency(&[a.clone(), b.clone()]);
+        check_conflicting_order_agreement(a.as_slice(), b.as_slice());
+        check_nontriviality(a.as_slice(), &[K(1, 0), K(1, 1), K(2, 0)]);
+        check_liveness(&[a, b], &[K(1, 0), K(2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CONSISTENCY")]
+    fn incompatible_histories_fail() {
+        let a = h(&[K(1, 0), K(1, 1)]);
+        let b = h(&[K(1, 1), K(1, 0)]);
+        check_consistency(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ORDER")]
+    fn conflicting_reorder_fails() {
+        let a = vec![K(1, 0), K(1, 1)];
+        let b = vec![K(1, 1), K(1, 0)];
+        check_conflicting_order_agreement(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NON-TRIVIALITY")]
+    fn unknown_command_fails() {
+        check_nontriviality(&[K(9, 9)], &[K(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIVENESS")]
+    fn missing_delivery_fails() {
+        check_liveness(&[h(&[K(1, 0)])], &[K(1, 0), K(2, 0)]);
+    }
+}

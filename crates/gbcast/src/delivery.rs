@@ -1,0 +1,124 @@
+//! Append-only delivery of a learner's growing command history.
+
+use mcpaxos_cstruct::{Command, CommandHistory, Conflict};
+
+/// Tracks how much of a learner's history has been handed to the
+/// application, delivering each command exactly once, in a linear
+/// extension of the agreed partial order.
+///
+/// A learner's `learned` history grows append-only in its sequence
+/// representation (it only changes through lubs, which preserve the
+/// receiver's prefix), so delivery is a simple cursor — this type also
+/// *verifies* that invariant and panics on violation, making it a live
+/// stability checker.
+#[derive(Clone, Debug, Default)]
+pub struct Delivery<C> {
+    delivered: Vec<C>,
+}
+
+impl<C: Command + Conflict> Delivery<C> {
+    /// Creates an empty delivery cursor.
+    pub fn new() -> Self {
+        Delivery {
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Commands delivered so far, in delivery order.
+    pub fn delivered(&self) -> &[C] {
+        &self.delivered
+    }
+
+    /// Number of commands delivered so far.
+    pub fn len(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Whether nothing has been delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.delivered.is_empty()
+    }
+
+    /// Absorbs the learner's current history, returning the commands not
+    /// yet delivered, in delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learned` is not an extension of what was previously
+    /// absorbed — that would be a stability violation by the protocol.
+    pub fn absorb(&mut self, learned: &CommandHistory<C>) -> Vec<C> {
+        let seq = learned.as_slice();
+        assert!(
+            seq.len() >= self.delivered.len(),
+            "STABILITY violated: learned history shrank ({} < {})",
+            seq.len(),
+            self.delivered.len()
+        );
+        for (i, c) in self.delivered.iter().enumerate() {
+            assert!(
+                &seq[i] == c,
+                "STABILITY violated: delivered prefix changed at {i}: {c:?} vs {:?}",
+                seq[i]
+            );
+        }
+        let new: Vec<C> = seq[self.delivered.len()..].to_vec();
+        self.delivered.extend(new.iter().cloned());
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::wire::{Wire, WireError};
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct K(u8, u8);
+    impl Conflict for K {
+        fn conflicts(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+    impl Wire for K {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+        fn decode(i: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(K(u8::decode(i)?, u8::decode(i)?))
+        }
+    }
+
+    fn h(cmds: &[K]) -> CommandHistory<K> {
+        cmds.iter().cloned().collect()
+    }
+
+    #[test]
+    fn delivers_increments_once() {
+        let mut d = Delivery::new();
+        assert!(d.is_empty());
+        let h1 = h(&[K(1, 0)]);
+        assert_eq!(d.absorb(&h1), vec![K(1, 0)]);
+        let h2 = h(&[K(1, 0), K(2, 0), K(1, 1)]);
+        assert_eq!(d.absorb(&h2), vec![K(2, 0), K(1, 1)]);
+        assert!(d.absorb(&h2).is_empty());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.delivered(), h2.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "STABILITY")]
+    fn shrinking_history_panics() {
+        let mut d = Delivery::new();
+        d.absorb(&h(&[K(1, 0), K(2, 0)]));
+        d.absorb(&h(&[K(1, 0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "STABILITY")]
+    fn reordered_prefix_panics() {
+        let mut d = Delivery::new();
+        d.absorb(&h(&[K(1, 0), K(1, 1)]));
+        d.absorb(&h(&[K(1, 1), K(1, 0)]));
+    }
+}

@@ -1,0 +1,555 @@
+//! The simulator core: event heap, process table, fault injection.
+
+use crate::{NetConfig, TraceEntry, TraceKind};
+use mcpaxos_actor::{
+    Actor, Context, MemStore, Metric, MetricSink, Metrics, ProcessId, SimDuration, SimTime,
+    StableStore, TimerToken,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt::Debug;
+
+type ActorBox<M> = Box<dyn Actor<Msg = M>>;
+type Factory<M> = Box<dyn FnMut() -> ActorBox<M>>;
+
+/// Per-process message counters, used by the load-balance experiment (E4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Messages this process handed to the network.
+    pub sent: u64,
+    /// Messages delivered to this process.
+    pub delivered: u64,
+    /// Timer upcalls executed at this process.
+    pub timers_fired: u64,
+}
+
+enum Event<M> {
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        msg: M,
+    },
+    Timer {
+        at: ProcessId,
+        token: TimerToken,
+        arm: u64,
+    },
+    Crash(ProcessId),
+    Recover(ProcessId),
+    Partition(Vec<ProcessId>, Vec<ProcessId>),
+    Heal,
+}
+
+struct Scheduled<M> {
+    /// (time, sequence) — the total order of the run.
+    key: (u64, u64),
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.key.cmp(&self.key)
+    }
+}
+
+struct ProcNode<M> {
+    actor: Option<ActorBox<M>>,
+    factory: Factory<M>,
+    up: bool,
+    storage: MemStore,
+    /// Monotonic arm counter: a timer event fires only if it carries the
+    /// latest arm id for its token (cancel/re-arm/crash invalidate).
+    next_arm: u64,
+    timers: BTreeMap<TimerToken, u64>,
+    stats: ProcessStats,
+}
+
+enum UpKind<M> {
+    Start,
+    Recover,
+    Msg(ProcessId, M),
+    Timer(TimerToken),
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// All nondeterminism (delays, loss, duplication, tie-breaking randomness
+/// requested by actors) is drawn from a single seeded RNG, so a `(seed,
+/// scenario)` pair fully determines the execution.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<M>>,
+    rng: StdRng,
+    config: NetConfig,
+    procs: BTreeMap<ProcessId, ProcNode<M>>,
+    partitions: Vec<(Vec<ProcessId>, Vec<ProcessId>)>,
+    metrics: Metrics,
+    trace: Vec<TraceEntry>,
+    trace_cap: usize,
+    events_processed: u64,
+}
+
+impl<M: Clone + Debug + 'static> Sim<M> {
+    /// Creates a simulator with the given RNG seed and network config.
+    pub fn new(seed: u64, config: NetConfig) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            procs: BTreeMap::new(),
+            partitions: Vec::new(),
+            metrics: Metrics::new(),
+            trace: Vec::new(),
+            trace_cap: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a process and immediately runs its `on_start`.
+    ///
+    /// The factory is re-invoked on every recovery, modelling the loss of
+    /// all volatile state; only [`Sim::storage`] survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is already registered.
+    pub fn add_process<F>(&mut self, pid: ProcessId, mut factory: F)
+    where
+        F: FnMut() -> ActorBox<M> + 'static,
+    {
+        let actor = factory();
+        let prev = self.procs.insert(
+            pid,
+            ProcNode {
+                actor: Some(actor),
+                factory: Box::new(factory),
+                up: true,
+                storage: MemStore::new(),
+                next_arm: 0,
+                timers: BTreeMap::new(),
+                stats: ProcessStats::default(),
+            },
+        );
+        assert!(prev.is_none(), "process {pid} registered twice");
+        self.upcall(pid, UpKind::Start);
+    }
+
+    // ----- time and execution -------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Processes a single event, returning its timestamp, or `None` if the
+    /// event queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Scheduled { key, event } = self.heap.pop()?;
+        self.now = SimTime(key.0);
+        self.events_processed += 1;
+        self.dispatch(event);
+        Some(self.now)
+    }
+
+    /// Runs every event scheduled up to and including time `t`, then
+    /// advances the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(s) = self.heap.peek() {
+            if s.key.0 > t.0 {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Runs `d` ticks past the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no events remain or `max_events` have been processed.
+    /// Returns the number of events processed by this call.
+    ///
+    /// Protocols with periodic timers never quiesce; use [`Sim::run_until`]
+    /// for those.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    // ----- fault & scenario injection ------------------------------------
+
+    /// Delivers `msg` to `to`, appearing to come from `from`, after one
+    /// sampled link delay. Never lost or duplicated — used by harnesses to
+    /// feed client traffic.
+    pub fn inject(&mut self, to: ProcessId, from: ProcessId, msg: M) {
+        let d = self.config.delay.sample(&mut self.rng);
+        let at = self.now + SimDuration(d);
+        self.schedule(at, Event::Deliver { to, from, msg });
+    }
+
+    /// Delivers `msg` to `to` at exactly time `t` (which must not be in
+    /// the past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn inject_at(&mut self, t: SimTime, to: ProcessId, from: ProcessId, msg: M) {
+        assert!(t >= self.now, "inject_at into the past");
+        self.schedule(t, Event::Deliver { to, from, msg });
+    }
+
+    /// Crashes `p` at time `t`: volatile state and pending timers are lost;
+    /// in-flight messages to `p` will be dropped.
+    pub fn crash_at(&mut self, t: SimTime, p: ProcessId) {
+        self.schedule(t, Event::Crash(p));
+    }
+
+    /// Recovers `p` at time `t`: a fresh actor is built by the factory and
+    /// `on_recover` runs with the surviving stable storage.
+    pub fn recover_at(&mut self, t: SimTime, p: ProcessId) {
+        self.schedule(t, Event::Recover(p));
+    }
+
+    /// From time `t`, blocks all messages between group `a` and group `b`.
+    pub fn partition_at(&mut self, t: SimTime, a: Vec<ProcessId>, b: Vec<ProcessId>) {
+        self.schedule(t, Event::Partition(a, b));
+    }
+
+    /// Removes all partitions at time `t`.
+    pub fn heal_at(&mut self, t: SimTime) {
+        self.schedule(t, Event::Heal);
+    }
+
+    // ----- inspection -----------------------------------------------------
+
+    /// Whether `p` is currently up.
+    pub fn is_up(&self, p: ProcessId) -> bool {
+        self.procs.get(&p).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// Immutable access to `p`'s actor, downcast to its concrete type.
+    pub fn actor<A: Actor<Msg = M>>(&self, p: ProcessId) -> Option<&A> {
+        let node = self.procs.get(&p)?;
+        let a: &dyn Actor<Msg = M> = node.actor.as_deref()?;
+        let any: &dyn Any = a;
+        any.downcast_ref::<A>()
+    }
+
+    /// Mutable access to `p`'s actor, downcast to its concrete type.
+    /// Intended for test assertions, not for bypassing the protocol.
+    pub fn actor_mut<A: Actor<Msg = M>>(&mut self, p: ProcessId) -> Option<&mut A> {
+        let node = self.procs.get_mut(&p)?;
+        let a: &mut dyn Actor<Msg = M> = node.actor.as_deref_mut()?;
+        let any: &mut dyn Any = a;
+        any.downcast_mut::<A>()
+    }
+
+    /// The stable storage of `p` (survives crashes).
+    pub fn storage(&self, p: ProcessId) -> Option<&MemStore> {
+        self.procs.get(&p).map(|n| &n.storage)
+    }
+
+    /// Message counters for `p`.
+    pub fn stats(&self, p: ProcessId) -> ProcessStats {
+        self.procs.get(&p).map(|n| n.stats).unwrap_or_default()
+    }
+
+    /// Aggregated metrics recorded by all actors.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Replaces the network configuration mid-run (e.g. to raise jitter).
+    pub fn set_config(&mut self, config: NetConfig) {
+        self.config = config;
+    }
+
+    /// All registered process ids.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Enables event tracing, keeping at most `cap` entries.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace_cap = cap;
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    // ----- internals ------------------------------------------------------
+
+    fn schedule(&mut self, at: SimTime, event: Event<M>) {
+        let key = (at.0, self.seq);
+        self.seq += 1;
+        self.heap.push(Scheduled { key, event });
+    }
+
+    fn record(&mut self, kind: TraceKind, process: ProcessId, from: Option<ProcessId>, detail: String) {
+        if self.trace_cap == 0 || self.trace.len() >= self.trace_cap {
+            return;
+        }
+        self.trace.push(TraceEntry {
+            at: self.now,
+            kind,
+            process,
+            from,
+            detail,
+        });
+    }
+
+    fn is_blocked(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.partitions.iter().any(|(ga, gb)| {
+            (ga.contains(&a) && gb.contains(&b)) || (ga.contains(&b) && gb.contains(&a))
+        })
+    }
+
+    fn dispatch(&mut self, event: Event<M>) {
+        match event {
+            Event::Deliver { to, from, msg } => {
+                let up = self.procs.get(&to).map(|n| n.up).unwrap_or(false);
+                if !up || self.is_blocked(from, to) {
+                    self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+                    return;
+                }
+                self.record(TraceKind::Deliver, to, Some(from), format!("{msg:?}"));
+                if let Some(n) = self.procs.get_mut(&to) {
+                    n.stats.delivered += 1;
+                }
+                self.upcall(to, UpKind::Msg(from, msg));
+            }
+            Event::Timer { at, token, arm } => {
+                let valid = self
+                    .procs
+                    .get(&at)
+                    .map(|n| n.up && n.timers.get(&token) == Some(&arm))
+                    .unwrap_or(false);
+                if !valid {
+                    return;
+                }
+                if let Some(n) = self.procs.get_mut(&at) {
+                    n.timers.remove(&token);
+                    n.stats.timers_fired += 1;
+                }
+                self.record(TraceKind::Timer, at, None, format!("{token:?}"));
+                self.upcall(at, UpKind::Timer(token));
+            }
+            Event::Crash(p) => {
+                if let Some(n) = self.procs.get_mut(&p) {
+                    if n.up {
+                        n.up = false;
+                        n.actor = None;
+                        n.timers.clear();
+                        self.record(TraceKind::Crash, p, None, String::new());
+                    }
+                }
+            }
+            Event::Recover(p) => {
+                let needs = self.procs.get(&p).map(|n| !n.up).unwrap_or(false);
+                if needs {
+                    let node = self.procs.get_mut(&p).expect("checked above");
+                    node.actor = Some((node.factory)());
+                    node.up = true;
+                    self.record(TraceKind::Recover, p, None, String::new());
+                    self.upcall(p, UpKind::Recover);
+                }
+            }
+            Event::Partition(a, b) => {
+                self.partitions.push((a, b));
+            }
+            Event::Heal => {
+                self.partitions.clear();
+            }
+        }
+    }
+
+    fn upcall(&mut self, pid: ProcessId, kind: UpKind<M>) {
+        let (mut actor, mut storage) = {
+            let node = match self.procs.get_mut(&pid) {
+                Some(n) if n.up => n,
+                _ => return,
+            };
+            let actor = node.actor.take().expect("up process has an actor");
+            (actor, std::mem::take(&mut node.storage))
+        };
+        let writes_before = storage.write_count();
+        let mut fx = Effects::default();
+        {
+            let mut ctx = SimCtx {
+                me: pid,
+                now: self.now,
+                storage: &mut storage,
+                rng: &mut self.rng,
+                fx: &mut fx,
+            };
+            match kind {
+                UpKind::Start => actor.on_start(&mut ctx),
+                UpKind::Recover => actor.on_recover(&mut ctx),
+                UpKind::Msg(from, m) => actor.on_message(from, m, &mut ctx),
+                UpKind::Timer(tok) => actor.on_timer(tok, &mut ctx),
+            }
+        }
+        let disk_writes = storage.write_count() - writes_before;
+        {
+            let node = self.procs.get_mut(&pid).expect("node exists");
+            node.actor = Some(actor);
+            node.storage = storage;
+        }
+        for m in fx.metrics.drain(..) {
+            self.metrics.record(pid, m);
+        }
+        // Disk writes delay everything the upcall produced (§4.4's cost
+        // model: a synchronous write must finish before the results of the
+        // action leave the process).
+        let base = self.now + SimDuration(disk_writes * self.config.disk_write_ticks);
+        for token in fx.timer_cancels.drain(..) {
+            if let Some(node) = self.procs.get_mut(&pid) {
+                node.timers.remove(&token);
+            }
+        }
+        for (after, token) in fx.timer_sets.drain(..) {
+            let arm = {
+                let node = self.procs.get_mut(&pid).expect("node exists");
+                node.next_arm += 1;
+                let arm = node.next_arm;
+                node.timers.insert(token, arm);
+                arm
+            };
+            self.schedule(base + after, Event::Timer { at: pid, token, arm });
+        }
+        for (to, msg) in fx.sends.drain(..) {
+            self.transmit(pid, to, msg, base);
+        }
+    }
+
+    fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: M, base: SimTime) {
+        if let Some(n) = self.procs.get_mut(&from) {
+            n.stats.sent += 1;
+        }
+        if self.is_blocked(from, to) {
+            self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+            return;
+        }
+        if self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss) {
+            self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+            return;
+        }
+        let copies = if self.config.duplicate > 0.0 && self.rng.gen_bool(self.config.duplicate) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let d = self.config.delay.sample(&mut self.rng);
+            self.schedule(
+                base + SimDuration(d),
+                Event::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+struct Effects<M> {
+    sends: Vec<(ProcessId, M)>,
+    timer_sets: Vec<(SimDuration, TimerToken)>,
+    timer_cancels: Vec<TimerToken>,
+    metrics: Vec<Metric>,
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects {
+            sends: Vec::new(),
+            timer_sets: Vec::new(),
+            timer_cancels: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+}
+
+struct SimCtx<'a, M> {
+    me: ProcessId,
+    now: SimTime,
+    storage: &'a mut MemStore,
+    rng: &'a mut StdRng,
+    fx: &'a mut Effects<M>,
+}
+
+impl<M> Context<M> for SimCtx<'_, M> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.fx.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, after: SimDuration, token: TimerToken) {
+        self.fx.timer_sets.push((after, token));
+    }
+    fn cancel_timer(&mut self, token: TimerToken) {
+        self.fx.timer_cancels.push(token);
+    }
+    fn storage(&mut self) -> &mut dyn StableStore {
+        self.storage
+    }
+    fn metric(&mut self, metric: Metric) {
+        self.fx.metrics.push(metric);
+    }
+    fn random(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+impl<M> std::fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("processes", &self.procs.len())
+            .field("pending_events", &self.heap.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}

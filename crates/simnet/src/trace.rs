@@ -1,0 +1,84 @@
+//! Event tracing for debugging and experiment post-processing.
+
+use mcpaxos_actor::{ProcessId, SimTime};
+
+/// What kind of event a trace entry records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to an actor.
+    Deliver,
+    /// A message transmission was dropped by the network.
+    Drop,
+    /// A timer fired.
+    Timer,
+    /// A process crashed.
+    Crash,
+    /// A process recovered.
+    Recover,
+}
+
+/// One recorded simulator event.
+///
+/// The message payload is kept as its `Debug` rendering so traces do not
+/// constrain the message type or keep large values alive.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The process the event happened at.
+    pub process: ProcessId,
+    /// For deliveries/drops: the sender.
+    pub from: Option<ProcessId>,
+    /// Rendering of the payload (message debug text or timer token).
+    pub detail: String,
+}
+
+impl TraceEntry {
+    /// Compact single-line rendering, convenient for golden-trace tests.
+    pub fn render(&self) -> String {
+        match self.from {
+            Some(f) => format!(
+                "{} {:?} {}<-{} {}",
+                self.at.ticks(),
+                self.kind,
+                self.process,
+                f,
+                self.detail
+            ),
+            None => format!(
+                "{} {:?} {} {}",
+                self.at.ticks(),
+                self.kind,
+                self.process,
+                self.detail
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats() {
+        let e = TraceEntry {
+            at: SimTime(5),
+            kind: TraceKind::Deliver,
+            process: ProcessId(1),
+            from: Some(ProcessId(2)),
+            detail: "hello".into(),
+        };
+        assert_eq!(e.render(), "5 Deliver p1<-p2 hello");
+        let t = TraceEntry {
+            at: SimTime(9),
+            kind: TraceKind::Crash,
+            process: ProcessId(3),
+            from: None,
+            detail: String::new(),
+        };
+        assert_eq!(t.render(), "9 Crash p3 ");
+    }
+}

@@ -1,0 +1,274 @@
+//! A replicated bank: the classic generic-broadcast motivating example.
+//!
+//! Deposits commute with everything except operations that *read* the
+//! balance they change (withdrawals are guarded, audits read all), so the
+//! conflict relation is richer than a key-equality test — exercising the
+//! protocol with an asymmetric-interference workload.
+
+use crate::machine::StateMachine;
+use crate::CmdId;
+use mcpaxos_actor::wire::{Wire, WireError};
+use mcpaxos_cstruct::Conflict;
+use std::collections::BTreeMap;
+
+/// Bank operations over account numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BankOp {
+    /// Adds `amount` to `account`. Deposits commute with each other.
+    Deposit {
+        /// Credited account.
+        account: u16,
+        /// Amount in cents.
+        amount: u32,
+    },
+    /// Subtracts `amount` if the balance suffices (guarded: order
+    /// matters against anything touching the account).
+    Withdraw {
+        /// Debited account.
+        account: u16,
+        /// Amount in cents.
+        amount: u32,
+    },
+    /// Moves `amount` from `from` to `to` if funds suffice.
+    Transfer {
+        /// Debited account.
+        from: u16,
+        /// Credited account.
+        to: u16,
+        /// Amount in cents.
+        amount: u32,
+    },
+    /// Reads every balance (interferes with everything).
+    Audit,
+}
+
+impl BankOp {
+    fn accounts(&self) -> Vec<u16> {
+        match *self {
+            BankOp::Deposit { account, .. } | BankOp::Withdraw { account, .. } => vec![account],
+            BankOp::Transfer { from, to, .. } => vec![from, to],
+            BankOp::Audit => vec![],
+        }
+    }
+
+    fn reads_balance(&self) -> bool {
+        matches!(
+            self,
+            BankOp::Withdraw { .. } | BankOp::Transfer { .. } | BankOp::Audit
+        )
+    }
+}
+
+/// A uniquely identified bank command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BankCmd {
+    /// Unique id.
+    pub id: CmdId,
+    /// The operation.
+    pub op: BankOp,
+}
+
+impl Conflict for BankCmd {
+    /// Interference rule: audits interfere with every state change and
+    /// other audits; two operations on disjoint accounts commute; on a
+    /// shared account they commute only if both are blind deposits.
+    fn conflicts(&self, other: &Self) -> bool {
+        let audit_a = matches!(self.op, BankOp::Audit);
+        let audit_b = matches!(other.op, BankOp::Audit);
+        if audit_a || audit_b {
+            return true;
+        }
+        let shared = self
+            .op
+            .accounts()
+            .iter()
+            .any(|a| other.op.accounts().contains(a));
+        shared && (self.op.reads_balance() || other.op.reads_balance())
+    }
+}
+
+impl Wire for BankCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        match &self.op {
+            BankOp::Deposit { account, amount } => {
+                0u8.encode(out);
+                account.encode(out);
+                amount.encode(out);
+            }
+            BankOp::Withdraw { account, amount } => {
+                1u8.encode(out);
+                account.encode(out);
+                amount.encode(out);
+            }
+            BankOp::Transfer { from, to, amount } => {
+                2u8.encode(out);
+                from.encode(out);
+                to.encode(out);
+                amount.encode(out);
+            }
+            BankOp::Audit => 3u8.encode(out),
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let id = CmdId::decode(input)?;
+        let op = match u8::decode(input)? {
+            0 => BankOp::Deposit {
+                account: u16::decode(input)?,
+                amount: u32::decode(input)?,
+            },
+            1 => BankOp::Withdraw {
+                account: u16::decode(input)?,
+                amount: u32::decode(input)?,
+            },
+            2 => BankOp::Transfer {
+                from: u16::decode(input)?,
+                to: u16::decode(input)?,
+                amount: u32::decode(input)?,
+            },
+            3 => BankOp::Audit,
+            _ => return Err(WireError { what: "bad BankOp tag" }),
+        };
+        Ok(BankCmd { id, op })
+    }
+}
+
+/// The bank state machine. Balances never go negative: guarded
+/// operations are no-ops when funds are insufficient.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bank {
+    balances: BTreeMap<u16, u64>,
+    rejected: u64,
+    audits: u64,
+}
+
+impl Bank {
+    /// Balance of `account` (0 if never used).
+    pub fn balance(&self, account: u16) -> u64 {
+        self.balances.get(&account).copied().unwrap_or(0)
+    }
+
+    /// Sum of all balances — conserved by transfers.
+    pub fn total(&self) -> u64 {
+        self.balances.values().sum()
+    }
+
+    /// Guarded operations rejected for insufficient funds.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of audits executed.
+    pub fn audits(&self) -> u64 {
+        self.audits
+    }
+}
+
+impl StateMachine for Bank {
+    type Cmd = BankCmd;
+
+    fn apply(&mut self, cmd: &BankCmd) {
+        match cmd.op {
+            BankOp::Deposit { account, amount } => {
+                *self.balances.entry(account).or_insert(0) += u64::from(amount);
+            }
+            BankOp::Withdraw { account, amount } => {
+                let bal = self.balances.entry(account).or_insert(0);
+                if *bal >= u64::from(amount) {
+                    *bal -= u64::from(amount);
+                } else {
+                    self.rejected += 1;
+                }
+            }
+            BankOp::Transfer { from, to, amount } => {
+                let from_bal = self.balance(from);
+                if from_bal >= u64::from(amount) {
+                    *self.balances.entry(from).or_insert(0) -= u64::from(amount);
+                    *self.balances.entry(to).or_insert(0) += u64::from(amount);
+                } else {
+                    self.rejected += 1;
+                }
+            }
+            BankOp::Audit => self.audits += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::wire::{from_bytes, to_bytes};
+
+    fn cmd(seq: u32, op: BankOp) -> BankCmd {
+        BankCmd {
+            id: CmdId { client: 0, seq },
+            op,
+        }
+    }
+
+    #[test]
+    fn conflict_relation() {
+        let dep_a = cmd(0, BankOp::Deposit { account: 1, amount: 5 });
+        let dep_a2 = cmd(1, BankOp::Deposit { account: 1, amount: 7 });
+        let wd_a = cmd(2, BankOp::Withdraw { account: 1, amount: 5 });
+        let dep_b = cmd(3, BankOp::Deposit { account: 2, amount: 5 });
+        let tr = cmd(4, BankOp::Transfer { from: 1, to: 3, amount: 2 });
+        let audit = cmd(5, BankOp::Audit);
+        assert!(!dep_a.conflicts(&dep_a2), "same-account deposits commute");
+        assert!(dep_a.conflicts(&wd_a), "deposit vs guarded withdraw");
+        assert!(!dep_a.conflicts(&dep_b), "different accounts commute");
+        assert!(tr.conflicts(&wd_a), "transfer shares account 1");
+        assert!(!tr.conflicts(&dep_b), "transfer 1→3 commutes with acct 2");
+        assert!(audit.conflicts(&dep_a), "audit interferes with everything");
+        assert!(audit.conflicts(&audit.clone()));
+    }
+
+    #[test]
+    fn transfers_conserve_total() {
+        let mut bank = Bank::default();
+        bank.apply(&cmd(0, BankOp::Deposit { account: 1, amount: 100 }));
+        bank.apply(&cmd(1, BankOp::Deposit { account: 2, amount: 50 }));
+        let before = bank.total();
+        bank.apply(&cmd(2, BankOp::Transfer { from: 1, to: 2, amount: 30 }));
+        bank.apply(&cmd(3, BankOp::Transfer { from: 2, to: 1, amount: 80 }));
+        assert_eq!(bank.total(), before);
+        assert_eq!(bank.balance(1), 150);
+        assert_eq!(bank.balance(2), 0);
+    }
+
+    #[test]
+    fn guarded_withdraw_rejects_overdraft() {
+        let mut bank = Bank::default();
+        bank.apply(&cmd(0, BankOp::Deposit { account: 1, amount: 10 }));
+        bank.apply(&cmd(1, BankOp::Withdraw { account: 1, amount: 20 }));
+        assert_eq!(bank.balance(1), 10);
+        assert_eq!(bank.rejected(), 1);
+    }
+
+    #[test]
+    fn deposits_commute_semantically() {
+        let a = cmd(0, BankOp::Deposit { account: 1, amount: 5 });
+        let b = cmd(1, BankOp::Deposit { account: 1, amount: 7 });
+        let mut b1 = Bank::default();
+        b1.apply(&a);
+        b1.apply(&b);
+        let mut b2 = Bank::default();
+        b2.apply(&b);
+        b2.apply(&a);
+        assert_eq!(b1, b2, "the conflict relation is semantically sound");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for op in [
+            BankOp::Deposit { account: 1, amount: 2 },
+            BankOp::Withdraw { account: 3, amount: 4 },
+            BankOp::Transfer { from: 5, to: 6, amount: 7 },
+            BankOp::Audit,
+        ] {
+            let c = cmd(9, op);
+            let back: BankCmd = from_bytes(&to_bytes(&c)).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+}

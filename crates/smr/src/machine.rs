@@ -1,0 +1,53 @@
+//! The deterministic state-machine abstraction.
+
+use mcpaxos_cstruct::{Command, Conflict};
+
+/// A deterministic state machine replicated via generic broadcast.
+///
+/// Determinism is the replica-consistency contract: applying the same
+/// command sequence to two instances must produce equal states. The
+/// command type's [`Conflict`] relation must order every pair of commands
+/// whose application order affects the final state — that is exactly the
+/// soundness condition connecting the application to the protocol.
+pub trait StateMachine: Default + Clone + std::fmt::Debug + 'static {
+    /// Commands this machine executes.
+    type Cmd: Command + Conflict;
+
+    /// Applies one command.
+    fn apply(&mut self, cmd: &Self::Cmd);
+
+    /// Applies a sequence of commands in order.
+    fn apply_all<'a>(&mut self, cmds: impl IntoIterator<Item = &'a Self::Cmd>)
+    where
+        Self::Cmd: 'a,
+    {
+        for c in cmds {
+            self.apply(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KvCmd, KvOp, KvStore};
+    use crate::CmdId;
+
+    #[test]
+    fn apply_all_folds() {
+        let mut sm = KvStore::default();
+        let cmds = vec![
+            KvCmd {
+                id: CmdId { client: 1, seq: 0 },
+                op: KvOp::Put(1, 10),
+            },
+            KvCmd {
+                id: CmdId { client: 1, seq: 1 },
+                op: KvOp::Put(2, 20),
+            },
+        ];
+        sm.apply_all(cmds.iter());
+        assert_eq!(sm.get(1), Some(10));
+        assert_eq!(sm.get(2), Some(20));
+    }
+}

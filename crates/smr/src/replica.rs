@@ -1,0 +1,133 @@
+//! The replica actor: learner + delivery cursor + state machine.
+
+use crate::machine::StateMachine;
+use mcpaxos_actor::{Actor, Context, ProcessId, TimerToken};
+use mcpaxos_core::{DeployConfig, Learner, Msg};
+use mcpaxos_cstruct::CommandHistory;
+use mcpaxos_gbcast::Delivery;
+use std::sync::Arc;
+
+/// Message type flowing through a replica of machine `SM`.
+pub type ReplicaMsg<SM> = Msg<CommandHistory<<SM as StateMachine>::Cmd>>;
+
+/// A replica: plays the learner role and applies newly agreed commands to
+/// its local state machine.
+///
+/// Register a `Replica` at each process listed in the deployment's
+/// learner role; the embedded [`Learner`] handles the protocol, the
+/// [`Delivery`] cursor guarantees exactly-once, order-respecting
+/// application.
+pub struct Replica<SM: StateMachine> {
+    learner: Learner<CommandHistory<SM::Cmd>>,
+    delivery: Delivery<SM::Cmd>,
+    machine: SM,
+}
+
+impl<SM: StateMachine> Replica<SM> {
+    /// Creates a replica for the given deployment.
+    pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        Replica {
+            learner: Learner::new(cfg),
+            delivery: Delivery::new(),
+            machine: SM::default(),
+        }
+    }
+
+    /// The replicated state machine.
+    pub fn machine(&self) -> &SM {
+        &self.machine
+    }
+
+    /// Commands applied so far, in application order.
+    pub fn applied(&self) -> &[SM::Cmd] {
+        self.delivery.delivered()
+    }
+
+    /// The underlying learner (for history inspection).
+    pub fn learner(&self) -> &Learner<CommandHistory<SM::Cmd>> {
+        &self.learner
+    }
+
+    fn drain(&mut self) {
+        let learned = self.learner.learned().clone();
+        for cmd in self.delivery.absorb(&learned) {
+            self.machine.apply(&cmd);
+        }
+    }
+}
+
+impl<SM: StateMachine> Actor for Replica<SM> {
+    type Msg = ReplicaMsg<SM>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        self.learner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
+        self.learner.on_message(from, msg, ctx);
+        self.drain();
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self::Msg>) {
+        self.learner.on_timer(token, ctx);
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmdId, KvCmd, KvOp, KvStore};
+    use mcpaxos_actor::{MemStore, Metric, SimDuration, SimTime, StableStore};
+    use mcpaxos_core::{Policy, Round, RTYPE_MULTI};
+
+    struct Ctx {
+        store: MemStore,
+    }
+    impl Context<ReplicaMsg<KvStore>> for Ctx {
+        fn me(&self) -> ProcessId {
+            ProcessId(9)
+        }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn send(&mut self, _to: ProcessId, _m: ReplicaMsg<KvStore>) {}
+        fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+        fn cancel_timer(&mut self, _t: TimerToken) {}
+        fn storage(&mut self) -> &mut dyn StableStore {
+            &mut self.store
+        }
+        fn metric(&mut self, _m: Metric) {}
+        fn random(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn replica_applies_learned_commands() {
+        // 3 acceptors (a4..a6 in 1/3/3/1 layout), majority 2.
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 3, 1, Policy::MultiCoordinated));
+        let mut r: Replica<KvStore> = Replica::new(cfg);
+        let mut ctx = Ctx {
+            store: MemStore::new(),
+        };
+        let round = Round::new(0, 1, 0, RTYPE_MULTI);
+        let cmd = KvCmd {
+            id: CmdId { client: 1, seq: 0 },
+            op: KvOp::Put(7, 70),
+        };
+        let hist: CommandHistory<KvCmd> = [cmd].into_iter().collect();
+        for a in [4u32, 5] {
+            r.on_message(
+                ProcessId(a),
+                Msg::P2b {
+                    round,
+                    val: hist.clone(),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(r.machine().get(7), Some(70));
+        assert_eq!(r.applied().len(), 1);
+    }
+}
