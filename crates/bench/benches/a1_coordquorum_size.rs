@@ -1,4 +1,7 @@
 //! Regenerates the a1_coordquorum_size experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::a1_coordquorum_size().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::a1_coordquorum_size().render_text()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e3_availability experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e3_availability().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e3_availability().render_text()
+    );
 }

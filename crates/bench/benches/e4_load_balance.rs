@@ -1,4 +1,7 @@
 //! Regenerates the e4_load_balance experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e4_load_balance().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e4_load_balance().render_text()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e5_collision_cost experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e5_collision_cost().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e5_collision_cost().render_text()
+    );
 }

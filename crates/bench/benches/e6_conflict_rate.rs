@@ -1,4 +1,7 @@
 //! Regenerates the e6_conflict_rate experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e6_conflict_rate().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e6_conflict_rate().render_text()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e7_disk_writes experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e7_disk_writes().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e7_disk_writes().render_text()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the e8_crossover experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e8_crossover().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e8_crossover().render_text()
+    );
 }

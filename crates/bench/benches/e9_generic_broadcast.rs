@@ -1,4 +1,7 @@
 //! Regenerates the e9_generic_broadcast experiment table (see EXPERIMENTS.md).
 fn main() {
-    println!("{}", mcpaxos_bench::experiments::e9_generic_broadcast().render_text());
+    println!(
+        "{}",
+        mcpaxos_bench::experiments::e9_generic_broadcast().render_text()
+    );
 }

@@ -4,6 +4,7 @@
 //! Run with `cargo bench -p mcpaxos-bench --bench micro`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mcpaxos_actor::ProcessId;
 use mcpaxos_actor::SimTime;
 use mcpaxos_bench::ClusterHarness;
 use mcpaxos_core::{
@@ -12,7 +13,6 @@ use mcpaxos_core::{
 use mcpaxos_cstruct::{CStruct, CmdSet, CommandHistory};
 use mcpaxos_simnet::NetConfig;
 use mcpaxos_smr::{KvCmd, Workload};
-use mcpaxos_actor::ProcessId;
 
 fn histories(n: usize, rho: f64, seed: u64) -> (CommandHistory<KvCmd>, CommandHistory<KvCmd>) {
     let mut w1 = Workload::new(seed, 0, rho);
@@ -63,9 +63,7 @@ fn bench_proved_safe(c: &mut Criterion) {
             })
             .collect();
         g.bench_function(format!("n{n}_classic_quorum"), |bench| {
-            bench.iter(|| {
-                std::hint::black_box(proved_safe(&msgs, &spec, |_| RoundKind::Classic))
-            })
+            bench.iter(|| std::hint::black_box(proved_safe(&msgs, &spec, |_| RoundKind::Classic)))
         });
     }
     g.finish();
@@ -96,5 +94,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cstruct_ops, bench_proved_safe, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_cstruct_ops,
+    bench_proved_safe,
+    bench_end_to_end
+);
 criterion_main!(benches);

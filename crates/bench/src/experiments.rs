@@ -7,9 +7,7 @@
 use crate::harness::{f2, ClusterHarness};
 use crate::table::Table;
 use mcpaxos_actor::SimTime;
-use mcpaxos_core::{
-    CollisionPolicy, CoordQuorum, DeployConfig, Durability, Policy, QuorumSpec,
-};
+use mcpaxos_core::{CollisionPolicy, CoordQuorum, DeployConfig, Durability, Policy, QuorumSpec};
 use mcpaxos_cstruct::{CStruct, CmdSet, CommandHistory, SingleDecree};
 use mcpaxos_simnet::{DelayDist, NetConfig};
 use mcpaxos_smr::{KvCmd, Workload};
@@ -32,7 +30,12 @@ pub fn e1_latency() -> Table {
     let mut t = Table::new(
         "E1 — Latency in communication steps",
         "classic = 3 steps, multicoordinated = 3 steps, fast = 2 steps (§1, §2.2, §3.1)",
-        &["round type", "n acceptors", "steps (1 cmd)", "steps (mean of 5)"],
+        &[
+            "round type",
+            "n acceptors",
+            "steps (1 cmd)",
+            "steps (mean of 5)",
+        ],
     );
     for policy in [
         Policy::SingleCoordinated,
@@ -98,11 +101,7 @@ pub fn e2_quorums() -> Table {
 }
 
 /// Shared scaffolding for E3/A1: a command stream with a crash.
-fn availability_run(
-    policy: Policy,
-    n_coord: usize,
-    crash_idx: Option<usize>,
-) -> (f64, u64, i64) {
+fn availability_run(policy: Policy, n_coord: usize, crash_idx: Option<usize>) -> (f64, u64, i64) {
     let cfg = DeployConfig::simple(1, n_coord, 5, 1, policy);
     let mut h: ClusterHarness<Set> = ClusterHarness::new(cfg, 11, NetConfig::lockstep());
     for i in 0..40u32 {
@@ -135,7 +134,11 @@ pub fn e3_availability() -> Table {
         ("classic, leader crash", Policy::SingleCoordinated, Some(0)),
         ("multi, no failure", Policy::MultiCoordinated, None),
         ("multi, leader crash", Policy::MultiCoordinated, Some(0)),
-        ("multi, other coord crash", Policy::MultiCoordinated, Some(2)),
+        (
+            "multi, other coord crash",
+            Policy::MultiCoordinated,
+            Some(2),
+        ),
     ];
     for (name, policy, crash) in cases {
         let (mean, max, rounds) = availability_run(policy, 3, crash);
@@ -197,11 +200,7 @@ pub fn e4_load_balance() -> Table {
         ("fast, load-balanced", Policy::FastThenClassic, true),
     ] {
         let (acc, coord) = run(policy, lb);
-        t.row(&[
-            name.to_string(),
-            fmt_range(&acc),
-            fmt_range(&coord),
-        ]);
+        t.row(&[name.to_string(), fmt_range(&acc), fmt_range(&coord)]);
     }
     t.with_note(
         "Shares are fractions of proposed commands each process handled. \
@@ -226,44 +225,45 @@ pub fn e5_collision_cost() -> Table {
     );
     // Drive two conflicting values at the same instant with slight jitter
     // until a collision occurs; average over colliding seeds.
-    let run = |policy: Policy, collision: CollisionPolicy, n_coord: usize| -> (f64, i64, f64, i64) {
-        let mut steps = Vec::new();
-        let mut collisions = 0i64;
-        let mut writes_per_cmd = Vec::new();
-        let mut doomed = 0i64;
-        for seed in 0..20u64 {
-            let cfg = DeployConfig::simple(2, n_coord, 5, 1, policy).with_collision(collision);
-            let mut h: ClusterHarness<SD> = ClusterHarness::new(
-                cfg,
-                seed,
-                NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 2)),
-            );
-            h.propose_at(SimTime(100), 0, 111);
-            h.propose_at(SimTime(100), 1, 222);
-            // Sample acceptor persists at decision time, so post-decision
-            // background traffic does not blur the collision cost.
-            h.run_until_learned(0, 1, 6_000);
-            let coll = h.metric_total("collision_fast") + h.metric_total("collision_mc");
-            if coll == 0 {
-                continue; // only collided runs inform the recovery cost
+    let run =
+        |policy: Policy, collision: CollisionPolicy, n_coord: usize| -> (f64, i64, f64, i64) {
+            let mut steps = Vec::new();
+            let mut collisions = 0i64;
+            let mut writes_per_cmd = Vec::new();
+            let mut doomed = 0i64;
+            for seed in 0..20u64 {
+                let cfg = DeployConfig::simple(2, n_coord, 5, 1, policy).with_collision(collision);
+                let mut h: ClusterHarness<SD> = ClusterHarness::new(
+                    cfg,
+                    seed,
+                    NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 2)),
+                );
+                h.propose_at(SimTime(100), 0, 111);
+                h.propose_at(SimTime(100), 1, 222);
+                // Sample acceptor persists at decision time, so post-decision
+                // background traffic does not blur the collision cost.
+                h.run_until_learned(0, 1, 6_000);
+                let coll = h.metric_total("collision_fast") + h.metric_total("collision_mc");
+                if coll == 0 {
+                    continue; // only collided runs inform the recovery cost
+                }
+                collisions += coll;
+                if let Some(Some(l)) = h.latencies(0).first() {
+                    steps.push(*l as f64);
+                }
+                let w_at_decision: u64 = h.acceptor_writes().iter().sum();
+                writes_per_cmd.push(w_at_decision as f64);
+                doomed += h.metric_total("overwritten_votes");
             }
-            collisions += coll;
-            if let Some(Some(l)) = h.latencies(0).first() {
-                steps.push(*l as f64);
-            }
-            let w_at_decision: u64 = h.acceptor_writes().iter().sum();
-            writes_per_cmd.push(w_at_decision as f64);
-            doomed += h.metric_total("overwritten_votes");
-        }
-        let mean = |v: &[f64]| {
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    f64::NAN
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            (mean(&steps), collisions, mean(&writes_per_cmd), doomed)
         };
-        (mean(&steps), collisions, mean(&writes_per_cmd), doomed)
-    };
     let cases: Vec<(&str, Policy, CollisionPolicy, usize)> = vec![
         (
             "fast + restart (4 extra steps)",
@@ -344,8 +344,7 @@ pub fn e6_conflict_rate() -> Table {
                     cmds += 2;
                 }
                 h.run_until(20_000);
-                collisions +=
-                    h.metric_total("collision_mc") + h.metric_total("collision_fast");
+                collisions += h.metric_total("collision_mc") + h.metric_total("collision_fast");
                 let m = h.mean_latency(0);
                 if !m.is_nan() {
                     lat.push(m);
@@ -384,8 +383,8 @@ pub fn e7_disk_writes() -> Table {
         (Durability::Naive, 0),
         (Durability::Naive, 2),
     ] {
-        let cfg = DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated)
-            .with_durability(durability);
+        let cfg =
+            DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated).with_durability(durability);
         let mut h: ClusterHarness<Set> = ClusterHarness::new(cfg, 9, NetConfig::lockstep());
         let n_cmds = 200u32;
         for i in 0..n_cmds {
@@ -541,7 +540,10 @@ pub fn e9_generic_broadcast() -> Table {
         }
         let quorum = match policy {
             Policy::FastThenClassic | Policy::FastForever => {
-                format!("{} of 5 (fast)", QuorumSpec::majority(5).unwrap().fast_size())
+                format!(
+                    "{} of 5 (fast)",
+                    QuorumSpec::majority(5).unwrap().fast_size()
+                )
             }
             _ => format!(
                 "{} of 5 (majority)",
@@ -555,7 +557,12 @@ pub fn e9_generic_broadcast() -> Table {
             f2(per_rho[0].0),
             f2(per_rho[1].0),
             per_rho[1].1.to_string(),
-            if survives { "yes (2-of-3 quorums)" } else { "no" }.to_string(),
+            if survives {
+                "yes (2-of-3 quorums)"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t.with_note(

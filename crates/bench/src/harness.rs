@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn harness_measures_latency() {
         let cfg = DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated);
-        let mut h: ClusterHarness<CmdSet<u32>> =
-            ClusterHarness::new(cfg, 1, NetConfig::lockstep());
+        let mut h: ClusterHarness<CmdSet<u32>> = ClusterHarness::new(cfg, 1, NetConfig::lockstep());
         h.propose_at(SimTime(100), 0, 7);
         h.run_until(500);
         assert_eq!(h.latencies(0), vec![Some(3)]);

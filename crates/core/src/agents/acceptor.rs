@@ -99,7 +99,8 @@ impl<C: CStruct> Acceptor<C> {
             Durability::Reduced => {
                 if self.rnd.major > self.persisted_major {
                     self.persisted_major = self.rnd.major;
-                    ctx.storage().write(KEY_MAJOR, to_bytes(&self.persisted_major));
+                    ctx.storage()
+                        .write(KEY_MAJOR, to_bytes(&self.persisted_major));
                 }
             }
         }
@@ -157,9 +158,7 @@ impl<C: CStruct> Acceptor<C> {
         // incrementally — a snapshot is not the sender's final word.)
         let gossip = match self.cfg.collision {
             CollisionPolicy::Uncoordinated => true,
-            CollisionPolicy::Coordinated => {
-                self.cfg.schedule.kind(self.vrnd) == RoundKind::Fast
-            }
+            CollisionPolicy::Coordinated => self.cfg.schedule.kind(self.vrnd) == RoundKind::Fast,
             CollisionPolicy::NewRound => false,
         };
         if gossip {
@@ -231,9 +230,9 @@ impl<C: CStruct> Acceptor<C> {
             let g = glb_all(idx.iter().map(|&i| vals[i].clone()));
             u_acc = Some(match u_acc.take() {
                 None => g,
-                Some(u) => u.lub(&g).expect(
-                    "coordinator-quorum glbs must be compatible (Assumption 3 violated?)",
-                ),
+                Some(u) => u
+                    .lub(&g)
+                    .expect("coordinator-quorum glbs must be compatible (Assumption 3 violated?)"),
             });
             true
         });
@@ -392,9 +391,7 @@ impl<C: CStruct> Acceptor<C> {
             return;
         }
         let msgs: Vec<OneB<C>> = match self.recovery_1b.get(&round) {
-            Some(m) if m.len() >= self.cfg.quorums.classic_size() => {
-                m.values().cloned().collect()
-            }
+            Some(m) if m.len() >= self.cfg.quorums.classic_size() => m.values().cloned().collect(),
             _ => return,
         };
         let sched = self.cfg.schedule.clone();
@@ -450,7 +447,8 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 // have promised in volatile state, then persist the bump.
                 self.persisted_major = major + 1;
                 self.rnd = Round::new(major + 1, 0, 0, crate::schedule::RTYPE_SINGLE);
-                ctx.storage().write(KEY_MAJOR, to_bytes(&self.persisted_major));
+                ctx.storage()
+                    .write(KEY_MAJOR, to_bytes(&self.persisted_major));
             }
             Durability::Naive => {
                 self.rnd = ctx
@@ -483,9 +481,7 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 entry.insert(from, val.clone());
                 // §4.2 collision detection: incompatible suggestions from
                 // coordinators of one round.
-                let collided = entry
-                    .iter()
-                    .any(|(&c, v)| c != from && !v.compatible(&val));
+                let collided = entry.iter().any(|(&c, v)| c != from && !v.compatible(&val));
                 self.prune();
                 if collided {
                     self.handle_mc_collision(round, ctx);
@@ -627,9 +623,23 @@ mod tests {
         let mut c = ctx();
         a.on_start(&mut c);
         let r = Round::new(0, 1, 0, RTYPE_MULTI); // quorum = 2 of 3
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[1, 2]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1, 2]),
+            },
+            &mut c,
+        );
         assert!(a.vval().is_bottom(), "one coordinator is not a quorum");
-        a.on_message(ProcessId(2), Msg::P2a { round: r, val: mk(&[2, 3]) }, &mut c);
+        a.on_message(
+            ProcessId(2),
+            Msg::P2a {
+                round: r,
+                val: mk(&[2, 3]),
+            },
+            &mut c,
+        );
         // glb({1,2},{2,3}) = {2} accepted.
         assert_eq!(a.vval(), &mk(&[2]));
         assert_eq!(a.vrnd(), r);
@@ -642,7 +652,14 @@ mod tests {
         assert_eq!(twobs, 4);
         // Third coordinator joins: quorum glbs are {2} ({c1,c2}), {1,2}
         // ({c1,c3}) and {2,3} ({c2,c3}); the acceptor accepts their lub.
-        a.on_message(ProcessId(3), Msg::P2a { round: r, val: mk(&[1, 2, 3]) }, &mut c);
+        a.on_message(
+            ProcessId(3),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1, 2, 3]),
+            },
+            &mut c,
+        );
         assert_eq!(a.vval(), &mk(&[1, 2, 3]));
     }
 
@@ -652,11 +669,39 @@ mod tests {
         let mut c = ctx();
         a.on_start(&mut c);
         let r = Round::new(0, 1, 0, RTYPE_MULTI);
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[1]) }, &mut c);
-        a.on_message(ProcessId(2), Msg::P2a { round: r, val: mk(&[1]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1]),
+            },
+            &mut c,
+        );
+        a.on_message(
+            ProcessId(2),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1]),
+            },
+            &mut c,
+        );
         assert_eq!(a.vval(), &mk(&[1]));
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[1, 2]) }, &mut c);
-        a.on_message(ProcessId(2), Msg::P2a { round: r, val: mk(&[1, 2]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1, 2]),
+            },
+            &mut c,
+        );
+        a.on_message(
+            ProcessId(2),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1, 2]),
+            },
+            &mut c,
+        );
         assert_eq!(a.vval(), &mk(&[1, 2]));
     }
 
@@ -666,7 +711,14 @@ mod tests {
         let mut c = ctx();
         a.on_start(&mut c);
         let r = Round::new(0, 1, 0, RTYPE_SINGLE);
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[9]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[9]),
+            },
+            &mut c,
+        );
         assert_eq!(a.vval(), &mk(&[9]));
     }
 
@@ -686,7 +738,14 @@ mod tests {
         );
         assert_eq!(c.store.write_count(), 1, "Phase1b writes nothing (§4.4)");
         let r = Round::new(0, 2, 0, RTYPE_SINGLE);
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[1]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[1]),
+            },
+            &mut c,
+        );
         assert_eq!(c.store.write_count(), 2, "accept persists the vote");
 
         // Naive: every Phase1b writes too.
@@ -715,7 +774,14 @@ mod tests {
         let mut c = ctx();
         a.on_start(&mut c);
         let r = Round::new(0, 3, 0, RTYPE_SINGLE);
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: mk(&[5]) }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: mk(&[5]),
+            },
+            &mut c,
+        );
         // Crash: new acceptor over the same store.
         let mut a2: Acceptor<C> = Acceptor::new(cfg);
         a2.on_recover(&mut c);
@@ -818,7 +884,14 @@ mod tests {
         // Owner primes the fast round with ⊥ via Phase2Start.
         let r = cfg.schedule.initial(0, 0);
         assert_eq!(cfg.schedule.kind(r), RoundKind::Fast);
-        a.on_message(ProcessId(1), Msg::P2a { round: r, val: C::bottom() }, &mut c);
+        a.on_message(
+            ProcessId(1),
+            Msg::P2a {
+                round: r,
+                val: C::bottom(),
+            },
+            &mut c,
+        );
         // Buffered proposal folded in immediately.
         assert_eq!(a.vval(), &mk(&[9]));
         assert_eq!(a.vrnd(), r);

@@ -189,9 +189,7 @@ impl<C: CStruct> Coordinator<C> {
             return;
         }
         let msgs: Vec<OneB<C>> = match self.round_1b.get(&round) {
-            Some(m) if m.len() >= self.cfg.quorums.classic_size() => {
-                m.values().cloned().collect()
-            }
+            Some(m) if m.len() >= self.cfg.quorums.classic_size() => m.values().cloned().collect(),
             _ => return,
         };
         let sched = self.cfg.schedule.clone();
@@ -392,8 +390,8 @@ impl<C: CStruct> Actor for Coordinator<C> {
                     }
                     self.outstanding.push(cmd.clone());
                 }
-                let classic_active = self.cval.is_some()
-                    && self.cfg.schedule.kind(self.crnd) == RoundKind::Classic;
+                let classic_active =
+                    self.cval.is_some() && self.cfg.schedule.kind(self.crnd) == RoundKind::Classic;
                 if classic_active {
                     self.phase2a_classic(cmd, acc_quorum, ctx);
                 } else if !self.backlog.contains(&cmd) {
@@ -421,14 +419,10 @@ impl<C: CStruct> Actor for Coordinator<C> {
                         }
                     }
                 }
-                self.round_1b.entry(round).or_default().insert(
-                    from,
-                    OneB {
-                        from,
-                        vrnd,
-                        vval,
-                    },
-                );
+                self.round_1b
+                    .entry(round)
+                    .or_default()
+                    .insert(from, OneB { from, vrnd, vval });
                 self.prune();
                 self.try_phase2start(round, ctx);
             }
@@ -538,10 +532,7 @@ mod tests {
         c2.on_start(&mut cx2);
         c2.on_timer(TOK_TICK, &mut cx2);
         assert!(!cx2.sent.iter().any(|(_, m)| matches!(m, Msg::P1a { .. })));
-        assert!(cx2
-            .sent
-            .iter()
-            .any(|(_, m)| matches!(m, Msg::Heartbeat)));
+        assert!(cx2.sent.iter().any(|(_, m)| matches!(m, Msg::Heartbeat)));
     }
 
     #[test]

@@ -188,13 +188,34 @@ mod tests {
         };
         let r = Round::new(0, 1, 0, RTYPE_MULTI);
         let acc = |i: u32| ProcessId(3 + i);
-        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[1, 2]) }, &mut c);
+        l.on_message(
+            acc(1),
+            Msg::P2b {
+                round: r,
+                val: mk(&[1, 2]),
+            },
+            &mut c,
+        );
         assert!(l.learned().is_bottom(), "one report is not a quorum");
-        l.on_message(acc(2), Msg::P2b { round: r, val: mk(&[2, 3]) }, &mut c);
+        l.on_message(
+            acc(2),
+            Msg::P2b {
+                round: r,
+                val: mk(&[2, 3]),
+            },
+            &mut c,
+        );
         // glb({1,2},{2,3}) = {2} chosen.
         assert_eq!(l.learned(), &mk(&[2]));
         // Third report: quorums {a1,a3}, {a2,a3}, {a1,a2} → lub of glbs.
-        l.on_message(acc(3), Msg::P2b { round: r, val: mk(&[1, 2, 3]) }, &mut c);
+        l.on_message(
+            acc(3),
+            Msg::P2b {
+                round: r,
+                val: mk(&[1, 2, 3]),
+            },
+            &mut c,
+        );
         assert_eq!(l.learned(), &mk(&[1, 2, 3]));
         assert_eq!(l.history().len(), 2);
         assert_eq!(l.history()[0], (SimTime(5), 1));
@@ -211,8 +232,22 @@ mod tests {
         };
         let r = Round::new(0, 1, 0, RTYPE_MULTI);
         let acc = |i: u32| ProcessId(3 + i);
-        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
-        l.on_message(acc(2), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
+        l.on_message(
+            acc(1),
+            Msg::P2b {
+                round: r,
+                val: mk(&[7]),
+            },
+            &mut c,
+        );
+        l.on_message(
+            acc(2),
+            Msg::P2b {
+                round: r,
+                val: mk(&[7]),
+            },
+            &mut c,
+        );
         let notif: Vec<_> = c
             .sent
             .iter()
@@ -220,7 +255,14 @@ mod tests {
             .collect();
         assert_eq!(notif.len(), 1, "one proposer, one notification");
         // Re-delivery does not re-notify.
-        l.on_message(acc(1), Msg::P2b { round: r, val: mk(&[7]) }, &mut c);
+        l.on_message(
+            acc(1),
+            Msg::P2b {
+                round: r,
+                val: mk(&[7]),
+            },
+            &mut c,
+        );
         let notif2 = c
             .sent
             .iter()
@@ -265,9 +307,37 @@ mod tests {
         let r2 = Round::new(0, 2, 0, RTYPE_MULTI);
         let acc = |i: u32| ProcessId(3 + i);
         let dec = SingleDecree::decided;
-        l.on_message(acc(1), Msg::P2b { round: r1, val: dec(1) }, &mut c);
-        l.on_message(acc(2), Msg::P2b { round: r1, val: dec(1) }, &mut c);
-        l.on_message(acc(1), Msg::P2b { round: r2, val: dec(2) }, &mut c);
-        l.on_message(acc(2), Msg::P2b { round: r2, val: dec(2) }, &mut c);
+        l.on_message(
+            acc(1),
+            Msg::P2b {
+                round: r1,
+                val: dec(1),
+            },
+            &mut c,
+        );
+        l.on_message(
+            acc(2),
+            Msg::P2b {
+                round: r1,
+                val: dec(1),
+            },
+            &mut c,
+        );
+        l.on_message(
+            acc(1),
+            Msg::P2b {
+                round: r2,
+                val: dec(2),
+            },
+            &mut c,
+        );
+        l.on_message(
+            acc(2),
+            Msg::P2b {
+                round: r2,
+                val: dec(2),
+            },
+            &mut c,
+        );
     }
 }

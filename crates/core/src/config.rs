@@ -102,7 +102,13 @@ impl DeployConfig {
     /// # Panics
     ///
     /// Panics if `n_acc` does not admit majority quorums (`n_acc == 0`).
-    pub fn simple(n_prop: usize, n_coord: usize, n_acc: usize, n_learn: usize, policy: Policy) -> Self {
+    pub fn simple(
+        n_prop: usize,
+        n_coord: usize,
+        n_acc: usize,
+        n_learn: usize,
+        policy: Policy,
+    ) -> Self {
         let roles = RoleMap::disjoint(n_prop, n_coord, n_acc, n_learn);
         let quorums = QuorumSpec::majority(n_acc).expect("majority quorums");
         let schedule = Schedule::new(roles.coordinators().to_vec(), policy);

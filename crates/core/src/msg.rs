@@ -5,6 +5,7 @@
 //! message *structure* is identical, only the payload type changes.
 
 use crate::round::Round;
+use mcpaxos_actor::wire::{Wire, WireError};
 use mcpaxos_actor::ProcessId;
 use mcpaxos_cstruct::CStruct;
 
@@ -91,9 +92,86 @@ impl<C: CStruct> Msg<C> {
     }
 }
 
+impl<C: CStruct> Wire for Msg<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Propose { cmd, acc_quorum } => {
+                out.push(0);
+                cmd.encode(out);
+                acc_quorum.encode(out);
+            }
+            Msg::P1a { round } => {
+                out.push(1);
+                round.encode(out);
+            }
+            Msg::P1b { round, vrnd, vval } => {
+                out.push(2);
+                round.encode(out);
+                vrnd.encode(out);
+                vval.encode(out);
+            }
+            Msg::P2a { round, val } => {
+                out.push(3);
+                round.encode(out);
+                val.encode(out);
+            }
+            Msg::P2b { round, val } => {
+                out.push(4);
+                round.encode(out);
+                val.encode(out);
+            }
+            Msg::RoundTooLow { heard } => {
+                out.push(5);
+                heard.encode(out);
+            }
+            Msg::Heartbeat => out.push(6),
+            Msg::Learned { cmds } => {
+                out.push(7);
+                cmds.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Msg::Propose {
+                cmd: Wire::decode(input)?,
+                acc_quorum: Wire::decode(input)?,
+            }),
+            1 => Ok(Msg::P1a {
+                round: Round::decode(input)?,
+            }),
+            2 => Ok(Msg::P1b {
+                round: Round::decode(input)?,
+                vrnd: Round::decode(input)?,
+                vval: C::decode(input)?,
+            }),
+            3 => Ok(Msg::P2a {
+                round: Round::decode(input)?,
+                val: C::decode(input)?,
+            }),
+            4 => Ok(Msg::P2b {
+                round: Round::decode(input)?,
+                val: C::decode(input)?,
+            }),
+            5 => Ok(Msg::RoundTooLow {
+                heard: Round::decode(input)?,
+            }),
+            6 => Ok(Msg::Heartbeat),
+            7 => Ok(Msg::Learned {
+                cmds: Wire::decode(input)?,
+            }),
+            _ => Err(WireError {
+                what: "invalid msg tag",
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcpaxos_actor::wire::{from_bytes, to_bytes};
     use mcpaxos_cstruct::{CStruct, SingleDecree};
 
     #[test]
@@ -104,9 +182,7 @@ mod tests {
                 cmd: 1,
                 acc_quorum: None,
             },
-            Msg::P1a {
-                round: Round::ZERO,
-            },
+            Msg::P1a { round: Round::ZERO },
             Msg::P1b {
                 round: Round::ZERO,
                 vrnd: Round::ZERO,
@@ -120,16 +196,23 @@ mod tests {
                 round: Round::ZERO,
                 val: SingleDecree::bottom(),
             },
-            Msg::RoundTooLow {
-                heard: Round::ZERO,
-            },
+            Msg::RoundTooLow { heard: Round::ZERO },
             Msg::Heartbeat,
             Msg::Learned { cmds: vec![] },
         ];
         let tags: Vec<&str> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(
             tags,
-            vec!["propose", "1a", "1b", "2a", "2b", "nack", "heartbeat", "learned"]
+            vec![
+                "propose",
+                "1a",
+                "1b",
+                "2a",
+                "2b",
+                "nack",
+                "heartbeat",
+                "learned"
+            ]
         );
     }
 
@@ -141,5 +224,53 @@ mod tests {
             val: SingleDecree::decided(9),
         };
         assert_eq!(m.clone(), m);
+    }
+
+    #[test]
+    fn wire_roundtrips_every_variant() {
+        type M = Msg<SingleDecree<u32>>;
+        let msgs: Vec<M> = vec![
+            Msg::Propose {
+                cmd: 7,
+                acc_quorum: Some(vec![ProcessId(4), ProcessId(5)]),
+            },
+            Msg::Propose {
+                cmd: 8,
+                acc_quorum: None,
+            },
+            Msg::P1a {
+                round: Round::new(3, 1, 2, 0),
+            },
+            Msg::P1b {
+                round: Round::new(3, 1, 2, 0),
+                vrnd: Round::ZERO,
+                vval: SingleDecree::decided(11),
+            },
+            Msg::P2a {
+                round: Round::new(1, 0, 0, 1),
+                val: SingleDecree::bottom(),
+            },
+            Msg::P2b {
+                round: Round::new(1, 0, 0, 1),
+                val: SingleDecree::decided(2),
+            },
+            Msg::RoundTooLow {
+                heard: Round::new(9, 9, 9, 2),
+            },
+            Msg::Heartbeat,
+            Msg::Learned {
+                cmds: vec![1, 2, 3],
+            },
+        ];
+        for m in msgs {
+            let back: M = from_bytes(&to_bytes(&m)).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_unknown_tag() {
+        let r: Result<Msg<SingleDecree<u32>>, _> = from_bytes(&[250]);
+        assert_eq!(r.unwrap_err().what, "invalid msg tag");
     }
 }

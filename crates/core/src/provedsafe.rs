@@ -131,13 +131,8 @@ pub fn proved_safe_exact<C: CStruct>(
         .filter(|m| m.vrnd == k)
         .map(|m| m.from)
         .collect();
-    let val_of = |p: ProcessId| -> &C {
-        &msgs
-            .iter()
-            .find(|m| m.from == p)
-            .expect("member of Q")
-            .vval
-    };
+    let val_of =
+        |p: ProcessId| -> &C { &msgs.iter().find(|m| m.from == p).expect("member of Q").vval };
     if k.is_zero() {
         return vec![val_of(kacceptors[0]).clone()];
     }
@@ -161,8 +156,8 @@ pub fn proved_safe_exact<C: CStruct>(
     if gamma.is_empty() {
         return kacceptors.iter().map(|&p| val_of(p).clone()).collect();
     }
-    let lub = lub_all(gamma.into_iter())
-        .expect("Fast Quorum Requirement violated in exact ProvedSafe");
+    let lub =
+        lub_all(gamma.into_iter()).expect("Fast Quorum Requirement violated in exact ProvedSafe");
     vec![lub]
 }
 
@@ -270,10 +265,7 @@ mod tests {
         let spec = QuorumSpec::majority(3).unwrap();
         let k = Round::new(0, 1, 0, RTYPE_SINGLE);
         let mk = |v: &[u32]| -> CmdSet<u32> { v.iter().copied().collect() };
-        let msgs = vec![
-            onb(0, k, mk(&[1, 2])),
-            onb(1, k, mk(&[2, 3])),
-        ];
+        let msgs = vec![onb(0, k, mk(&[1, 2])), onb(1, k, mk(&[2, 3]))];
         let picked = proved_safe(&msgs, &spec, classic_kind);
         assert_eq!(picked, vec![mk(&[1, 2, 3])]);
     }
@@ -337,7 +329,9 @@ mod tests {
                     let vval: CmdSet<u32> = if vrnd.is_zero() {
                         CmdSet::bottom()
                     } else {
-                        (0..rng.gen_range(0..3)).map(|_| rng.gen_range(0..5u32)).collect()
+                        (0..rng.gen_range(0..3))
+                            .map(|_| rng.gen_range(0..5u32))
+                            .collect()
                     };
                     onb(m, vrnd, vval)
                 })

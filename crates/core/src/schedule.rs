@@ -18,8 +18,8 @@
 //! * [`Policy::FastForever`] — fast rounds recovered by further fast
 //!   rounds (uncoordinated recovery, §4.2).
 
-use crate::round::Round;
 use crate::quorum::CoordQuorum;
+use crate::round::Round;
 use mcpaxos_actor::ProcessId;
 
 /// Round type selectors stored in [`Round::rtype`].

@@ -22,9 +22,7 @@ fn chaos_run<C: CStruct<Cmd = u32>>(
     n_cmds: u32,
 ) -> (Arc<DeployConfig>, Sim<Msg<C>>) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let cfg = Arc::new(
-        DeployConfig::simple(2, 3, 5, 2, policy).with_collision(collision),
-    );
+    let cfg = Arc::new(DeployConfig::simple(2, 3, 5, 2, policy).with_collision(collision));
     let net = NetConfig::lockstep()
         .with_delay(DelayDist::Uniform(1, rng.gen_range(2..8)))
         .with_loss(rng.gen_range(0.0..0.08))
@@ -42,7 +40,7 @@ fn chaos_run<C: CStruct<Cmd = u32>>(
     for k in 0..2 {
         let a = accs[rng.gen_range(0..accs.len())];
         let down = rng.gen_range(200..1_200);
-        let up = down + rng.gen_range(100..800);
+        let up = down + rng.gen_range(100..800u64);
         let _ = k;
         sim.crash_at(SimTime(down), a);
         sim.recover_at(SimTime(up), a);
@@ -52,7 +50,7 @@ fn chaos_run<C: CStruct<Cmd = u32>>(
     let c = coords[rng.gen_range(0..coords.len())];
     let down = rng.gen_range(200..1_000);
     sim.crash_at(SimTime(down), c);
-    sim.recover_at(SimTime(down + rng.gen_range(200..900)), c);
+    sim.recover_at(SimTime(down + rng.gen_range(200..900u64)), c);
     // A transient partition separating two acceptors.
     let cut_at = rng.gen_range(300..1_000);
     sim.partition_at(
@@ -60,7 +58,7 @@ fn chaos_run<C: CStruct<Cmd = u32>>(
         vec![accs[0], accs[1]],
         vec![accs[2], accs[3], accs[4]],
     );
-    sim.heal_at(SimTime(cut_at + rng.gen_range(200..600)));
+    sim.heal_at(SimTime(cut_at + rng.gen_range(200..600u64)));
 
     // Long quiet tail for convergence.
     sim.run_until(SimTime(12_000));

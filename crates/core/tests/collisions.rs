@@ -26,8 +26,10 @@ fn multicoordinated_collision_recovers_and_orders_commands() {
                 .with_collision(CollisionPolicy::Coordinated),
         );
         // Jitter so the two proposals interleave differently per seed.
-        let mut sim: Sim<Msg<Seq>> =
-            Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 4)));
+        let mut sim: Sim<Msg<Seq>> = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 4)),
+        );
         deploy(&mut sim, &cfg);
         propose_at(&mut sim, &cfg, SimTime(100), 0, 1);
         propose_at(&mut sim, &cfg, SimTime(100), 1, 2);
@@ -56,8 +58,10 @@ fn multicoordinated_collision_new_round_policy() {
         DeployConfig::simple(2, 3, 5, 2, Policy::MultiCoordinated)
             .with_collision(CollisionPolicy::NewRound),
     );
-    let mut sim: Sim<Msg<Seq>> =
-        Sim::new(3, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 4)));
+    let mut sim: Sim<Msg<Seq>> = Sim::new(
+        3,
+        NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 4)),
+    );
     deploy(&mut sim, &cfg);
     propose_at(&mut sim, &cfg, SimTime(100), 0, 1);
     propose_at(&mut sim, &cfg, SimTime(100), 1, 2);
@@ -77,8 +81,10 @@ fn fast_collision_coordinated_recovery_decides() {
             DeployConfig::simple(2, 3, 5, 2, Policy::FastThenClassic)
                 .with_collision(CollisionPolicy::Coordinated),
         );
-        let mut sim: Sim<Msg<SD>> =
-            Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 3)));
+        let mut sim: Sim<Msg<SD>> = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 3)),
+        );
         deploy(&mut sim, &cfg);
         propose_at(&mut sim, &cfg, SimTime(100), 0, 111);
         propose_at(&mut sim, &cfg, SimTime(100), 1, 222);
@@ -104,8 +110,10 @@ fn fast_collision_new_round_recovery_decides() {
             DeployConfig::simple(2, 3, 5, 2, Policy::FastThenClassic)
                 .with_collision(CollisionPolicy::NewRound),
         );
-        let mut sim: Sim<Msg<SD>> =
-            Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 3)));
+        let mut sim: Sim<Msg<SD>> = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 3)),
+        );
         deploy(&mut sim, &cfg);
         propose_at(&mut sim, &cfg, SimTime(100), 0, 111);
         propose_at(&mut sim, &cfg, SimTime(100), 1, 222);
@@ -129,8 +137,10 @@ fn fast_collision_uncoordinated_recovery_decides() {
                 .with_collision(CollisionPolicy::Uncoordinated),
         );
         cfg.validate().expect("valid");
-        let mut sim: Sim<Msg<SD>> =
-            Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 2)));
+        let mut sim: Sim<Msg<SD>> = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 2)),
+        );
         deploy(&mut sim, &cfg);
         propose_at(&mut sim, &cfg, SimTime(100), 0, 111);
         propose_at(&mut sim, &cfg, SimTime(100), 1, 222);
@@ -159,11 +169,19 @@ fn commuting_commands_never_collide() {
     use mcpaxos_cstruct::CmdSet;
     for seed in 0..8u64 {
         let cfg = Arc::new(DeployConfig::simple(2, 3, 5, 2, Policy::MultiCoordinated));
-        let mut sim: Sim<Msg<CmdSet<u32>>> =
-            Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 5)));
+        let mut sim: Sim<Msg<CmdSet<u32>>> = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 5)),
+        );
         deploy(&mut sim, &cfg);
         for i in 0..6u32 {
-            propose_at(&mut sim, &cfg, SimTime(100 + (i as u64 % 3)), i as usize % 2, i);
+            propose_at(
+                &mut sim,
+                &cfg,
+                SimTime(100 + (i as u64 % 3)),
+                i as usize % 2,
+                i,
+            );
         }
         sim.run_until(SimTime(3_000));
         assert_eq!(sim.metrics().total("collision_mc"), 0, "seed {seed}");

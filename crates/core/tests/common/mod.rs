@@ -1,5 +1,9 @@
 //! Shared cluster harness for the core integration tests: deploys a full
 //! agent set into a simulator and offers propose/inspect helpers.
+//!
+//! Each test binary compiles this module independently and uses a
+//! different subset of the helpers, so dead-code analysis is silenced.
+#![allow(dead_code)]
 
 use mcpaxos_actor::ProcessId;
 use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Proposer};
@@ -77,11 +81,7 @@ pub fn learn_history<C: CStruct>(
 /// proposed), stability is enforced by construction (learned only grows
 /// through lubs), and consistency (all learned values pairwise
 /// compatible).
-pub fn assert_safety<C: CStruct>(
-    sim: &Sim<Msg<C>>,
-    cfg: &Arc<DeployConfig>,
-    proposed: &[C::Cmd],
-) {
+pub fn assert_safety<C: CStruct>(sim: &Sim<Msg<C>>, cfg: &Arc<DeployConfig>, proposed: &[C::Cmd]) {
     let vals: Vec<C> = (0..cfg.roles.learners().len())
         .map(|i| learned(sim, cfg, i))
         .collect();

@@ -66,8 +66,7 @@ impl<C: Command> CStruct for CmdSeq<C> {
     }
 
     fn le(&self, other: &Self) -> bool {
-        self.cmds.len() <= other.cmds.len()
-            && self.common_prefix_len(other) == self.cmds.len()
+        self.cmds.len() <= other.cmds.len() && self.common_prefix_len(other) == self.cmds.len()
     }
 
     fn glb(&self, other: &Self) -> Self {

@@ -445,6 +445,7 @@ mod tests {
         assert!(hist.orders_before(&a, &x));
         assert!(!hist.orders_before(&x, &a));
         assert!(!hist.orders_before(&a, &b)); // commuting: unordered
+
         // Transitivity through a middle command conflicting with both.
         #[derive(Clone, Debug, PartialEq, Eq)]
         struct Chain(u32);

@@ -90,12 +90,10 @@ fn brute_force_compatible(a: &CommandHistory<KeyCmd>, b: &CommandHistory<KeyCmd>
             union.push(c);
         }
     }
-    permutations(&union)
-        .into_iter()
-        .any(|perm| {
-            let w: CommandHistory<KeyCmd> = perm.into_iter().collect();
-            a.le(&w) && b.le(&w)
-        })
+    permutations(&union).into_iter().any(|perm| {
+        let w: CommandHistory<KeyCmd> = perm.into_iter().collect();
+        a.le(&w) && b.le(&w)
+    })
 }
 
 fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {

@@ -40,10 +40,7 @@ pub fn check_conflicting_order_agreement<C: Command + Conflict>(a: &[C], b: &[C]
             if !x.conflicts(y) {
                 continue;
             }
-            let (jx, jy) = match (
-                b.iter().position(|c| c == x),
-                b.iter().position(|c| c == y),
-            ) {
+            let (jx, jy) = match (b.iter().position(|c| c == x), b.iter().position(|c| c == y)) {
                 (Some(jx), Some(jy)) => (jx, jy),
                 _ => continue, // one of them not delivered there (yet)
             };

@@ -3,10 +3,10 @@
 //! conflicting commands are totally ordered; all four properties hold
 //! under jitter, loss and conflict-rate sweeps.
 
-use mcpaxos_actor::{ProcessId, SimTime};
 use mcpaxos_actor::wire::{Wire, WireError};
+use mcpaxos_actor::{ProcessId, SimTime};
 use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer};
-use mcpaxos_cstruct::{CStruct, CommandHistory, Conflict};
+use mcpaxos_cstruct::{CommandHistory, Conflict};
 use mcpaxos_gbcast::{checks, Delivery};
 use mcpaxos_simnet::{DelayDist, NetConfig, Sim};
 use std::sync::Arc;
@@ -68,7 +68,12 @@ fn histories(sim: &Sim<Msg<H>>, cfg: &Arc<DeployConfig>) -> Vec<H> {
         .collect()
 }
 
-fn run(seed: u64, n_keys: u16, n_cmds: u32, net: NetConfig) -> (Arc<DeployConfig>, Sim<Msg<H>>, Vec<Op>) {
+fn run(
+    seed: u64,
+    n_keys: u16,
+    n_cmds: u32,
+    net: NetConfig,
+) -> (Arc<DeployConfig>, Sim<Msg<H>>, Vec<Op>) {
     let cfg = Arc::new(DeployConfig::simple(2, 3, 5, 3, Policy::MultiCoordinated));
     let mut sim: Sim<Msg<H>> = Sim::new(seed, net);
     deploy(&mut sim, &cfg);
@@ -136,14 +141,20 @@ fn deliveries_are_append_only_across_time() {
     deploy(&mut sim, &cfg);
     let mut broadcast = Vec::new();
     for i in 0..10u32 {
-        let op = Op { key: i as u16 % 3, uid: i };
+        let op = Op {
+            key: i as u16 % 3,
+            uid: i,
+        };
         broadcast.push(op.clone());
         let p = cfg.roles.proposers()[(i % 2) as usize];
         sim.inject_at(
             SimTime(100 + 60 * i as u64),
             p,
             CLIENT,
-            Msg::Propose { cmd: op, acc_quorum: None },
+            Msg::Propose {
+                cmd: op,
+                acc_quorum: None,
+            },
         );
     }
     // Absorb at checkpoints; Delivery panics on any stability violation.

@@ -114,10 +114,7 @@ impl<M: Send + 'static> Cluster<M> {
         let (tx, rx) = unbounded();
         {
             let mut reg = self.registry.write();
-            assert!(
-                reg.insert(pid, tx).is_none(),
-                "process {pid} spawned twice"
-            );
+            assert!(reg.insert(pid, tx).is_none(), "process {pid} spawned twice");
         }
         let registry = self.registry.clone();
         let metrics = self.metrics.clone();
@@ -374,8 +371,14 @@ mod tests {
         }
         assert_eq!(cluster.metrics().total("seen"), 10);
         let actors = cluster.stop();
-        let a0 = actors[&ProcessId(0)].as_any().downcast_ref::<Counter>().unwrap();
-        let a1 = actors[&ProcessId(1)].as_any().downcast_ref::<Counter>().unwrap();
+        let a0 = actors[&ProcessId(0)]
+            .as_any()
+            .downcast_ref::<Counter>()
+            .unwrap();
+        let a1 = actors[&ProcessId(1)]
+            .as_any()
+            .downcast_ref::<Counter>()
+            .unwrap();
         assert_eq!(a0.seen + a1.seen, 10);
     }
 

@@ -322,7 +322,13 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.heap.push(Scheduled { key, event });
     }
 
-    fn record(&mut self, kind: TraceKind, process: ProcessId, from: Option<ProcessId>, detail: String) {
+    fn record(
+        &mut self,
+        kind: TraceKind,
+        process: ProcessId,
+        from: Option<ProcessId>,
+        detail: String,
+    ) {
         if self.trace_cap == 0 || self.trace.len() >= self.trace_cap {
             return;
         }
@@ -452,7 +458,14 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 node.timers.insert(token, arm);
                 arm
             };
-            self.schedule(base + after, Event::Timer { at: pid, token, arm });
+            self.schedule(
+                base + after,
+                Event::Timer {
+                    at: pid,
+                    token,
+                    arm,
+                },
+            );
         }
         for (to, msg) in fx.sends.drain(..) {
             self.transmit(pid, to, msg, base);

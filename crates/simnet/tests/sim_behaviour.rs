@@ -289,7 +289,10 @@ fn uniform_delays_reorder_messages() {
     }
     let mut reordered = false;
     for seed in 0..20 {
-        let mut sim = Sim::new(seed, NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 10)));
+        let mut sim = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 10)),
+        );
         sim.add_process(P1, || Counter::boxed(0));
         sim.add_process(P0, || Box::new(Burst));
         sim.run_to_quiescence(100);

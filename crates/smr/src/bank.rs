@@ -127,7 +127,11 @@ impl Wire for BankCmd {
                 amount: u32::decode(input)?,
             },
             3 => BankOp::Audit,
-            _ => return Err(WireError { what: "bad BankOp tag" }),
+            _ => {
+                return Err(WireError {
+                    what: "bad BankOp tag",
+                })
+            }
         };
         Ok(BankCmd { id, op })
     }
@@ -208,11 +212,42 @@ mod tests {
 
     #[test]
     fn conflict_relation() {
-        let dep_a = cmd(0, BankOp::Deposit { account: 1, amount: 5 });
-        let dep_a2 = cmd(1, BankOp::Deposit { account: 1, amount: 7 });
-        let wd_a = cmd(2, BankOp::Withdraw { account: 1, amount: 5 });
-        let dep_b = cmd(3, BankOp::Deposit { account: 2, amount: 5 });
-        let tr = cmd(4, BankOp::Transfer { from: 1, to: 3, amount: 2 });
+        let dep_a = cmd(
+            0,
+            BankOp::Deposit {
+                account: 1,
+                amount: 5,
+            },
+        );
+        let dep_a2 = cmd(
+            1,
+            BankOp::Deposit {
+                account: 1,
+                amount: 7,
+            },
+        );
+        let wd_a = cmd(
+            2,
+            BankOp::Withdraw {
+                account: 1,
+                amount: 5,
+            },
+        );
+        let dep_b = cmd(
+            3,
+            BankOp::Deposit {
+                account: 2,
+                amount: 5,
+            },
+        );
+        let tr = cmd(
+            4,
+            BankOp::Transfer {
+                from: 1,
+                to: 3,
+                amount: 2,
+            },
+        );
         let audit = cmd(5, BankOp::Audit);
         assert!(!dep_a.conflicts(&dep_a2), "same-account deposits commute");
         assert!(dep_a.conflicts(&wd_a), "deposit vs guarded withdraw");
@@ -226,11 +261,37 @@ mod tests {
     #[test]
     fn transfers_conserve_total() {
         let mut bank = Bank::default();
-        bank.apply(&cmd(0, BankOp::Deposit { account: 1, amount: 100 }));
-        bank.apply(&cmd(1, BankOp::Deposit { account: 2, amount: 50 }));
+        bank.apply(&cmd(
+            0,
+            BankOp::Deposit {
+                account: 1,
+                amount: 100,
+            },
+        ));
+        bank.apply(&cmd(
+            1,
+            BankOp::Deposit {
+                account: 2,
+                amount: 50,
+            },
+        ));
         let before = bank.total();
-        bank.apply(&cmd(2, BankOp::Transfer { from: 1, to: 2, amount: 30 }));
-        bank.apply(&cmd(3, BankOp::Transfer { from: 2, to: 1, amount: 80 }));
+        bank.apply(&cmd(
+            2,
+            BankOp::Transfer {
+                from: 1,
+                to: 2,
+                amount: 30,
+            },
+        ));
+        bank.apply(&cmd(
+            3,
+            BankOp::Transfer {
+                from: 2,
+                to: 1,
+                amount: 80,
+            },
+        ));
         assert_eq!(bank.total(), before);
         assert_eq!(bank.balance(1), 150);
         assert_eq!(bank.balance(2), 0);
@@ -239,16 +300,40 @@ mod tests {
     #[test]
     fn guarded_withdraw_rejects_overdraft() {
         let mut bank = Bank::default();
-        bank.apply(&cmd(0, BankOp::Deposit { account: 1, amount: 10 }));
-        bank.apply(&cmd(1, BankOp::Withdraw { account: 1, amount: 20 }));
+        bank.apply(&cmd(
+            0,
+            BankOp::Deposit {
+                account: 1,
+                amount: 10,
+            },
+        ));
+        bank.apply(&cmd(
+            1,
+            BankOp::Withdraw {
+                account: 1,
+                amount: 20,
+            },
+        ));
         assert_eq!(bank.balance(1), 10);
         assert_eq!(bank.rejected(), 1);
     }
 
     #[test]
     fn deposits_commute_semantically() {
-        let a = cmd(0, BankOp::Deposit { account: 1, amount: 5 });
-        let b = cmd(1, BankOp::Deposit { account: 1, amount: 7 });
+        let a = cmd(
+            0,
+            BankOp::Deposit {
+                account: 1,
+                amount: 5,
+            },
+        );
+        let b = cmd(
+            1,
+            BankOp::Deposit {
+                account: 1,
+                amount: 7,
+            },
+        );
         let mut b1 = Bank::default();
         b1.apply(&a);
         b1.apply(&b);
@@ -261,9 +346,19 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         for op in [
-            BankOp::Deposit { account: 1, amount: 2 },
-            BankOp::Withdraw { account: 3, amount: 4 },
-            BankOp::Transfer { from: 5, to: 6, amount: 7 },
+            BankOp::Deposit {
+                account: 1,
+                amount: 2,
+            },
+            BankOp::Withdraw {
+                account: 3,
+                amount: 4,
+            },
+            BankOp::Transfer {
+                from: 5,
+                to: 6,
+                amount: 7,
+            },
             BankOp::Audit,
         ] {
             let c = cmd(9, op);

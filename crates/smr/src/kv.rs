@@ -75,7 +75,11 @@ impl Wire for KvCmd {
             0 => KvOp::Put(u16::decode(input)?, u64::decode(input)?),
             1 => KvOp::Del(u16::decode(input)?),
             2 => KvOp::Get(u16::decode(input)?),
-            _ => return Err(WireError { what: "bad KvOp tag" }),
+            _ => {
+                return Err(WireError {
+                    what: "bad KvOp tag",
+                })
+            }
         };
         Ok(KvCmd { id, op })
     }

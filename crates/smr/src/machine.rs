@@ -30,8 +30,8 @@ pub trait StateMachine: Default + Clone + std::fmt::Debug + 'static {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{KvCmd, KvOp, KvStore};
     use crate::CmdId;
+    use crate::{KvCmd, KvOp, KvStore};
 
     #[test]
     fn apply_all_folds() {

@@ -3,18 +3,15 @@
 
 use mcpaxos_actor::{ProcessId, SimTime};
 use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Msg, Policy, Proposer};
-use mcpaxos_cstruct::{CStruct, CommandHistory};
+use mcpaxos_cstruct::CommandHistory;
 use mcpaxos_gbcast::checks;
-use mcpaxos_smr::{Bank, BankCmd, BankOp, CmdId, KvCmd, KvStore, Replica, StateMachine, Workload};
 use mcpaxos_simnet::{DelayDist, NetConfig, Sim};
+use mcpaxos_smr::{Bank, BankCmd, BankOp, CmdId, KvCmd, KvStore, Replica, StateMachine, Workload};
 use std::sync::Arc;
 
 const CLIENT: ProcessId = ProcessId(9_999);
 
-fn deploy<SM: StateMachine>(
-    sim: &mut Sim<Msg<CommandHistory<SM::Cmd>>>,
-    cfg: &Arc<DeployConfig>,
-) {
+fn deploy<SM: StateMachine>(sim: &mut Sim<Msg<CommandHistory<SM::Cmd>>>, cfg: &Arc<DeployConfig>) {
     type H<SM> = CommandHistory<<SM as StateMachine>::Cmd>;
     for &p in cfg.roles.proposers() {
         let cfg = cfg.clone();
@@ -86,14 +83,16 @@ fn kv_replicas_converge_per_key() {
         assert_eq!(r0.machine().snapshot(), r2.machine().snapshot());
         // Histories compatible and deliveries order-consistent.
         let hs: Vec<CommandHistory<KvCmd>> = (0..3)
-            .map(|i| replica::<KvStore>(&sim, &cfg, i).learner().learned().clone())
+            .map(|i| {
+                replica::<KvStore>(&sim, &cfg, i)
+                    .learner()
+                    .learned()
+                    .clone()
+            })
             .collect();
         checks::check_consistency(&hs);
         checks::check_liveness(&hs, &all);
-        checks::check_conflicting_order_agreement(
-            r0.applied(),
-            r1.applied(),
-        );
+        checks::check_conflicting_order_agreement(r0.applied(), r1.applied());
     }
 }
 

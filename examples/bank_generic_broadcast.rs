@@ -8,7 +8,7 @@ use mcpaxos_suite::actor::{ProcessId, SimTime};
 use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::CommandHistory;
 use mcpaxos_suite::simnet::{DelayDist, NetConfig, Sim};
-use mcpaxos_suite::smr::{Bank, BankCmd, BankOp, CmdId, Replica, StateMachine};
+use mcpaxos_suite::smr::{Bank, BankCmd, BankOp, CmdId, Replica};
 use std::sync::Arc;
 
 type H = CommandHistory<BankCmd>;
@@ -40,7 +40,10 @@ fn main() {
     let mut seq = 0u32;
     let mut send = |sim: &mut Sim<Msg<H>>, t: u64, pi: usize, op: BankOp| {
         let cmd = BankCmd {
-            id: CmdId { client: pi as u32, seq },
+            id: CmdId {
+                client: pi as u32,
+                seq,
+            },
             op,
         };
         seq += 1;
@@ -48,18 +51,54 @@ fn main() {
             SimTime(t),
             cfg.roles.proposers()[pi],
             client,
-            Msg::Propose { cmd, acc_quorum: None },
+            Msg::Propose {
+                cmd,
+                acc_quorum: None,
+            },
         );
     };
 
     // Concurrent deposits from both clients (commute freely)...
     for i in 0..6u64 {
-        send(&mut sim, 100 + 10 * i, 0, BankOp::Deposit { account: 1, amount: 100 });
-        send(&mut sim, 100 + 10 * i, 1, BankOp::Deposit { account: 2, amount: 50 });
+        send(
+            &mut sim,
+            100 + 10 * i,
+            0,
+            BankOp::Deposit {
+                account: 1,
+                amount: 100,
+            },
+        );
+        send(
+            &mut sim,
+            100 + 10 * i,
+            1,
+            BankOp::Deposit {
+                account: 2,
+                amount: 50,
+            },
+        );
     }
     // ...then interfering traffic: a transfer, a guarded withdrawal, an audit.
-    send(&mut sim, 200, 0, BankOp::Transfer { from: 1, to: 2, amount: 250 });
-    send(&mut sim, 200, 1, BankOp::Withdraw { account: 2, amount: 500 });
+    send(
+        &mut sim,
+        200,
+        0,
+        BankOp::Transfer {
+            from: 1,
+            to: 2,
+            amount: 250,
+        },
+    );
+    send(
+        &mut sim,
+        200,
+        1,
+        BankOp::Withdraw {
+            account: 2,
+            amount: 500,
+        },
+    );
     send(&mut sim, 210, 0, BankOp::Audit);
 
     sim.run_until(SimTime(20_000));

@@ -6,9 +6,7 @@
 //! Run with `cargo run --example leader_failover`.
 
 use mcpaxos_suite::actor::{ProcessId, SimTime};
-use mcpaxos_suite::core::{
-    Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer,
-};
+use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::CmdSet;
 use mcpaxos_suite::simnet::{NetConfig, Sim};
 use std::sync::Arc;

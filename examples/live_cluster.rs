@@ -4,9 +4,7 @@
 //! Run with `cargo run --example live_cluster`.
 
 use mcpaxos_suite::actor::ProcessId;
-use mcpaxos_suite::core::{
-    Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer,
-};
+use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::{CStruct, CmdSet};
 use mcpaxos_suite::runtime::Cluster;
 use std::sync::Arc;
@@ -51,7 +49,11 @@ fn main() {
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         let m = cluster.metrics();
-        let done = cfg.roles.learners().iter().all(|&l| m.of(l, "learned") >= 5);
+        let done = cfg
+            .roles
+            .learners()
+            .iter()
+            .all(|&l| m.of(l, "learned") >= 5);
         if done || Instant::now() > deadline {
             break;
         }

@@ -8,9 +8,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use mcpaxos_suite::actor::SimTime;
-use mcpaxos_suite::core::{
-    Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer,
-};
+use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::{CStruct, CmdSet};
 use mcpaxos_suite::simnet::{NetConfig, Sim};
 use std::sync::Arc;
@@ -25,7 +23,9 @@ fn main() {
          (quorums of {}), {} learners",
         cfg.roles.proposers().len(),
         cfg.roles.coordinators().len(),
-        cfg.schedule.coord_quorum(cfg.schedule.initial(0, 0)).quorum_size(),
+        cfg.schedule
+            .coord_quorum(cfg.schedule.initial(0, 0))
+            .quorum_size(),
         cfg.roles.acceptors().len(),
         cfg.quorums.classic_size(),
         cfg.roles.learners().len(),

@@ -11,7 +11,7 @@ use mcpaxos_suite::actor::{ProcessId, SimTime};
 use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::CommandHistory;
 use mcpaxos_suite::simnet::{NetConfig, Sim};
-use mcpaxos_suite::smr::{KvCmd, KvStore, Replica, StateMachine, Workload};
+use mcpaxos_suite::smr::{KvCmd, KvStore, Replica, Workload};
 use std::sync::Arc;
 
 type H = CommandHistory<KvCmd>;

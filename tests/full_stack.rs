@@ -3,13 +3,11 @@
 //! the simulator and the threaded runtime.
 
 use mcpaxos_suite::actor::{ProcessId, SimTime};
-use mcpaxos_suite::core::{
-    Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer,
-};
+use mcpaxos_suite::core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer};
 use mcpaxos_suite::cstruct::{CStruct, CmdSet, CommandHistory};
 use mcpaxos_suite::gbcast::checks;
 use mcpaxos_suite::simnet::{DelayDist, NetConfig, Sim};
-use mcpaxos_suite::smr::{KvCmd, KvStore, Replica, StateMachine, Workload};
+use mcpaxos_suite::smr::{KvCmd, KvStore, Replica, Workload};
 use std::sync::Arc;
 
 const CLIENT: ProcessId = ProcessId(9_999);
