@@ -29,13 +29,25 @@ pub trait Context<M> {
     /// paper's system model), but are never corrupted.
     fn send(&mut self, to: ProcessId, msg: M);
 
-    /// Sends a clone of `msg` to every process in `to`.
+    /// Sends `msg` to every process in `to`.
+    ///
+    /// Clones for all recipients but the last, which receives the
+    /// original by move — with `Arc`-shared payloads (the protocol's
+    /// c-struct messages) every copy is a pointer bump, so an n-way
+    /// fan-out costs O(n) pointer clones instead of n deep copies of the
+    /// payload. Delivery semantics are exactly those of `n` individual
+    /// [`Context::send`] calls, in `to`'s order: each copy is
+    /// independently subject to delay, duplication and loss
+    /// (`simnet::tests` pins this equivalence under a lossy network).
     fn multicast(&mut self, to: &[ProcessId], msg: M)
     where
         M: Clone,
     {
-        for &p in to {
-            self.send(p, msg.clone());
+        if let Some((&last, rest)) = to.split_last() {
+            for &p in rest {
+                self.send(p, msg.clone());
+            }
+            self.send(last, msg);
         }
     }
 

@@ -175,6 +175,20 @@ impl<T: Wire> Wire for Option<T> {
     }
 }
 
+/// Shared payloads encode transparently as their inner value: the wire
+/// format has no notion of sharing, so `Arc<T>` and `T` are
+/// interchangeable on the wire. Used by the protocol messages, whose
+/// c-struct payloads are `Arc`-shared so multicast fan-out clones a
+/// pointer instead of the whole history.
+impl<T: Wire> Wire for std::sync::Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(input)?))
+    }
+}
+
 macro_rules! impl_wire_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Wire),+> Wire for ($($name,)+) {

@@ -70,9 +70,19 @@ fn msg() -> impl Strategy<Value = TestMsg> {
     prop_oneof![
         (any::<u32>(), quorum).prop_map(|(cmd, acc_quorum)| Msg::Propose { cmd, acc_quorum }),
         round().prop_map(|round| Msg::P1a { round }),
-        (round(), round(), cmdseq()).prop_map(|(round, vrnd, vval)| Msg::P1b { round, vrnd, vval }),
-        (round(), cmdseq()).prop_map(|(round, val)| Msg::P2a { round, val }),
-        (round(), cmdseq()).prop_map(|(round, val)| Msg::P2b { round, val }),
+        (round(), round(), cmdseq()).prop_map(|(round, vrnd, vval)| Msg::P1b {
+            round,
+            vrnd,
+            vval: vval.into(),
+        }),
+        (round(), cmdseq()).prop_map(|(round, val)| Msg::P2a {
+            round,
+            val: val.into(),
+        }),
+        (round(), cmdseq()).prop_map(|(round, val)| Msg::P2b {
+            round,
+            val: val.into(),
+        }),
         round().prop_map(|heard| Msg::RoundTooLow { heard }),
         Just(Msg::Heartbeat),
         prop::collection::vec(any::<u32>(), 0..6).prop_map(|cmds| Msg::Learned { cmds }),

@@ -1,0 +1,65 @@
+//! Micro-benchmarks for the command-history lattice operators: the
+//! indexed [`CommandHistory`] against the retained literal transcription
+//! [`RefCommandHistory`], on the same KV workloads the experiments use.
+//!
+//! Run with `cargo bench -p mcpaxos-bench --bench history_ops`. The CI
+//! smoke job runs the same measurements through the `bench_history`
+//! binary, which emits a `BENCH_history.json` artifact and asserts the
+//! indexed/reference speedup floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpaxos_bench::history_workloads::{diverging_cmds, ConflictProfile};
+use mcpaxos_cstruct::{CStruct, CommandHistory, RefCommandHistory};
+use mcpaxos_smr::KvCmd;
+
+fn bench_ops(c: &mut Criterion) {
+    for &n in &[256usize, 1024] {
+        let (a_cmds, b_cmds) = diverging_cmds(n, ConflictProfile::default());
+        let ia: CommandHistory<KvCmd> = a_cmds.iter().cloned().collect();
+        let ib: CommandHistory<KvCmd> = b_cmds.iter().cloned().collect();
+        let ra: RefCommandHistory<KvCmd> = a_cmds.iter().cloned().collect();
+        let rb: RefCommandHistory<KvCmd> = b_cmds.iter().cloned().collect();
+
+        let mut g = c.benchmark_group(format!("history_indexed_{n}"));
+        g.bench_function("eq", |b| b.iter(|| std::hint::black_box(ia == ib)));
+        g.bench_function("le", |b| b.iter(|| std::hint::black_box(ia.le(&ib))));
+        g.bench_function("glb", |b| b.iter(|| std::hint::black_box(ia.glb(&ib))));
+        g.bench_function("compatible", |b| {
+            b.iter(|| std::hint::black_box(ia.compatible(&ib)))
+        });
+        g.bench_function("lub", |b| b.iter(|| std::hint::black_box(ia.lub(&ib))));
+        g.finish();
+
+        let mut g = c.benchmark_group(format!("history_ref_{n}"));
+        g.sample_size(10);
+        g.bench_function("eq", |b| b.iter(|| std::hint::black_box(ra == rb)));
+        g.bench_function("le", |b| b.iter(|| std::hint::black_box(ra.le(&rb))));
+        g.bench_function("glb", |b| b.iter(|| std::hint::black_box(ra.glb(&rb))));
+        g.bench_function("compatible", |b| {
+            b.iter(|| std::hint::black_box(ra.compatible(&rb)))
+        });
+        g.bench_function("lub", |b| b.iter(|| std::hint::black_box(ra.lub(&rb))));
+        g.finish();
+    }
+}
+
+/// Satellite regression bench: 10k-command construction must stay
+/// near-linear (the seed's duplicate check made it quadratic).
+fn bench_construction(c: &mut Criterion) {
+    let (cmds, _) = diverging_cmds(10_000, ConflictProfile::default());
+    let mut g = c.benchmark_group("history_construct");
+    g.sample_size(10);
+    g.bench_function("indexed_10k", |b| {
+        b.iter(|| std::hint::black_box(cmds.iter().cloned().collect::<CommandHistory<KvCmd>>()))
+    });
+    // The reference oracle is quadratic here; keep its input small enough
+    // for the suite to stay fast while still showing the asymptotic gap.
+    let small: Vec<KvCmd> = cmds.iter().take(2_000).cloned().collect();
+    g.bench_function("ref_2k", |b| {
+        b.iter(|| std::hint::black_box(small.iter().cloned().collect::<RefCommandHistory<KvCmd>>()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_construction);
+criterion_main!(benches);

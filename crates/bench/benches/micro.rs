@@ -59,7 +59,7 @@ fn bench_proved_safe(c: &mut Criterion) {
             .map(|i| OneB {
                 from: ProcessId(i as u32),
                 vrnd: k,
-                vval: h.clone(),
+                vval: h.clone().into(),
             })
             .collect();
         g.bench_function(format!("n{n}_classic_quorum"), |bench| {

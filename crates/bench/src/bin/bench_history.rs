@@ -1,0 +1,326 @@
+//! CI-facing micro-benchmark: command-history lattice operators (indexed
+//! vs. the retained reference transcription) and learner 2b processing
+//! (incremental per-round glbs vs. enumerate-from-scratch).
+//!
+//! Emits `BENCH_history.json` — a flat array of `{op, impl, n, median_ns}`
+//! records — so every CI run leaves a comparable perf artifact, and prints
+//! a human-readable table with speedups. With `--check`, exits non-zero
+//! unless the indexed implementation beats the reference by ≥ 10× on
+//! `eq`, `glb` (the paper's `Prefix`) and `lub` for 1k-command histories
+//! at a ~10% conflict rate (the PR-4 acceptance criterion).
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_history [--check] [--out PATH]`
+
+use mcpaxos_actor::{
+    Actor, Context, MemStore, Metric, ProcessId, SimDuration, SimTime, StableStore, TimerToken,
+};
+use mcpaxos_bench::history_workloads::{diverging_cmds, ConflictProfile};
+use mcpaxos_core::{DeployConfig, Learner, Msg, Policy, Round, RTYPE_MULTI};
+use mcpaxos_cstruct::{glb_all, CStruct, CommandHistory, RefCommandHistory};
+use mcpaxos_smr::KvCmd;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measurement record.
+struct Record {
+    op: &'static str,
+    imp: &'static str,
+    n: usize,
+    median_ns: u128,
+}
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (after one
+/// warm-up), never fewer than one.
+fn median_ns<O>(samples: usize, mut f: impl FnMut() -> O) -> u128 {
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn history_records(records: &mut Vec<Record>) {
+    for &n in &[256usize, 1024] {
+        let (a_cmds, b_cmds) = diverging_cmds(n, ConflictProfile::default());
+        let ia: CommandHistory<KvCmd> = a_cmds.iter().cloned().collect();
+        let ib: CommandHistory<KvCmd> = b_cmds.iter().cloned().collect();
+        let ra: RefCommandHistory<KvCmd> = a_cmds.iter().cloned().collect();
+        let rb: RefCommandHistory<KvCmd> = b_cmds.iter().cloned().collect();
+        // The reference ops are up to cubic at n=1024: keep its sample
+        // count low, the indexed one high.
+        let (si, sr) = (50, 5);
+        records.push(Record {
+            op: "eq",
+            imp: "indexed",
+            n,
+            median_ns: median_ns(si, || ia == ib),
+        });
+        records.push(Record {
+            op: "eq",
+            imp: "ref",
+            n,
+            median_ns: median_ns(sr, || ra == rb),
+        });
+        records.push(Record {
+            op: "le",
+            imp: "indexed",
+            n,
+            median_ns: median_ns(si, || ia.le(&ib)),
+        });
+        records.push(Record {
+            op: "le",
+            imp: "ref",
+            n,
+            median_ns: median_ns(sr, || ra.le(&rb)),
+        });
+        records.push(Record {
+            op: "glb",
+            imp: "indexed",
+            n,
+            median_ns: median_ns(si, || ia.glb(&ib)),
+        });
+        records.push(Record {
+            op: "glb",
+            imp: "ref",
+            n,
+            median_ns: median_ns(sr, || ra.glb(&rb)),
+        });
+        records.push(Record {
+            op: "compatible",
+            imp: "indexed",
+            n,
+            median_ns: median_ns(si, || ia.compatible(&ib)),
+        });
+        records.push(Record {
+            op: "compatible",
+            imp: "ref",
+            n,
+            median_ns: median_ns(sr, || ra.compatible(&rb)),
+        });
+        records.push(Record {
+            op: "lub",
+            imp: "indexed",
+            n,
+            median_ns: median_ns(si, || ia.lub(&ib)),
+        });
+        records.push(Record {
+            op: "lub",
+            imp: "ref",
+            n,
+            median_ns: median_ns(sr, || ra.lub(&rb)),
+        });
+    }
+    // Satellite regression: 10k-command construction (seed was quadratic).
+    let (cmds, _) = diverging_cmds(10_000, ConflictProfile::default());
+    records.push(Record {
+        op: "construct",
+        imp: "indexed",
+        n: 10_000,
+        median_ns: median_ns(5, || {
+            cmds.iter().cloned().collect::<CommandHistory<KvCmd>>()
+        }),
+    });
+    let small: Vec<KvCmd> = cmds.iter().take(2_000).cloned().collect();
+    records.push(Record {
+        op: "construct",
+        imp: "ref",
+        n: 2_000,
+        median_ns: median_ns(3, || {
+            small.iter().cloned().collect::<RefCommandHistory<KvCmd>>()
+        }),
+    });
+}
+
+/// All size-`k` subsets of `0..n` (tiny inputs here).
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if k <= n {
+        rec(0, n, k, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+/// Sink context for driving a learner outside the simulator.
+struct Sink {
+    store: MemStore,
+}
+
+impl Context<Msg<CommandHistory<KvCmd>>> for Sink {
+    fn me(&self) -> ProcessId {
+        ProcessId(9)
+    }
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn send(&mut self, _to: ProcessId, _m: Msg<CommandHistory<KvCmd>>) {}
+    fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+    fn cancel_timer(&mut self, _t: TimerToken) {}
+    fn storage(&mut self) -> &mut dyn StableStore {
+        &mut self.store
+    }
+    fn metric(&mut self, _m: Metric) {}
+    fn random(&mut self) -> u64 {
+        0
+    }
+}
+
+/// The stream of "2b" messages the learner benchmarks replay: 5 acceptors
+/// reporting growing prefixes of a shared master sequence, round-robin.
+fn learner_stream(total: usize, step: usize) -> Vec<(ProcessId, CommandHistory<KvCmd>)> {
+    let (master, _) = diverging_cmds(total, ConflictProfile::default());
+    let mut out = Vec::new();
+    let mut progress = [0usize; 5];
+    let mut i = 0;
+    while progress.iter().any(|&p| p < total) {
+        let a = i % 5;
+        progress[a] = (progress[a] + step).min(total);
+        out.push((
+            ProcessId(4 + a as u32),
+            master.iter().take(progress[a]).cloned().collect(),
+        ));
+        i += 1;
+    }
+    out
+}
+
+fn learner_records(records: &mut Vec<Record>) {
+    let n = 256;
+    let stream = learner_stream(n, 8);
+    let cfg = Arc::new(DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated));
+    let qsize = cfg.quorums.classic_size();
+    let round = Round::new(0, 1, 0, RTYPE_MULTI);
+
+    // Incremental: the production learner.
+    records.push(Record {
+        op: "learner_2b_stream",
+        imp: "incremental",
+        n,
+        median_ns: median_ns(5, || {
+            let mut l: Learner<CommandHistory<KvCmd>> = Learner::new(cfg.clone());
+            let mut ctx = Sink {
+                store: MemStore::new(),
+            };
+            for (from, val) in &stream {
+                l.on_message(
+                    *from,
+                    Msg::P2b {
+                        round,
+                        val: Arc::new(val.clone()),
+                    },
+                    &mut ctx,
+                );
+            }
+            assert_eq!(l.learned().count(), n);
+        }),
+    });
+
+    // From-scratch baseline: the seed's rule, re-enumerating every
+    // quorum subset over full clones on every message.
+    records.push(Record {
+        op: "learner_2b_stream",
+        imp: "scratch",
+        n,
+        median_ns: median_ns(3, || {
+            let mut learned = CommandHistory::<KvCmd>::bottom();
+            let mut reports: BTreeMap<ProcessId, CommandHistory<KvCmd>> = BTreeMap::new();
+            for (from, val) in &stream {
+                reports.insert(*from, val.clone());
+                if reports.len() < qsize {
+                    continue;
+                }
+                let vals: Vec<&CommandHistory<KvCmd>> = reports.values().collect();
+                for idx in combinations(vals.len(), qsize) {
+                    let g = glb_all(idx.iter().map(|&i| vals[i].clone()));
+                    learned = learned.lub(&g).expect("compatible");
+                }
+            }
+            assert_eq!(learned.count(), n);
+        }),
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_history.json".to_owned());
+
+    let mut records = Vec::new();
+    history_records(&mut records);
+    learner_records(&mut records);
+
+    // JSON artifact (hand-rolled: flat records, no escaping needed).
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"op\": \"{}\", \"impl\": \"{}\", \"n\": {}, \"median_ns\": {}}}{}\n",
+            r.op,
+            r.imp,
+            r.n,
+            r.median_ns,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write artifact");
+
+    // Human-readable table with speedups where both impls measured the
+    // same (op, n).
+    println!(
+        "{:<18} {:>7} {:>14} {:>14} {:>9}",
+        "op", "n", "indexed_ns", "ref_ns", "speedup"
+    );
+    let mut failures = Vec::new();
+    for r in records
+        .iter()
+        .filter(|r| r.imp == "indexed" || r.imp == "incremental")
+    {
+        let baseline = records
+            .iter()
+            .find(|b| b.op == r.op && b.n == r.n && (b.imp == "ref" || b.imp == "scratch"));
+        let (ref_ns, speedup) = match baseline {
+            Some(b) => (
+                b.median_ns.to_string(),
+                format!("{:.1}x", b.median_ns as f64 / r.median_ns.max(1) as f64),
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<18} {:>7} {:>14} {:>14} {:>9}",
+            r.op, r.n, r.median_ns, ref_ns, speedup
+        );
+        if check && r.n == 1024 && matches!(r.op, "eq" | "glb" | "lub") {
+            let b = baseline.expect("baseline measured");
+            let ratio = b.median_ns as f64 / r.median_ns.max(1) as f64;
+            if ratio < 10.0 {
+                failures.push(format!("{} at n={}: {:.1}x < 10x", r.op, r.n, ratio));
+            }
+        }
+    }
+    println!("wrote {out_path}");
+    if !failures.is_empty() {
+        eprintln!("speedup floor violated: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared workload generation for the command-history micro-benchmarks
+//! (`benches/history_ops.rs` and the CI-facing `bench_history` binary).
+
+use mcpaxos_smr::{KvCmd, Workload};
+
+/// Parameters of a benchmark conflict workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ConflictProfile {
+    /// Conflict fraction `rho` (probability a command hits the hot key).
+    pub rho: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ConflictProfile {
+    /// The acceptance-criterion workload: ~10% conflict rate.
+    fn default() -> Self {
+        ConflictProfile { rho: 0.1, seed: 42 }
+    }
+}
+
+/// Two command sequences of `n` commands each, sharing an `n/2`-command
+/// prefix and then diverging — the shape two acceptors' values take when
+/// a round accepts concurrently. Conflicts are controlled by
+/// `profile.rho` (hot-key fraction), mirroring the E6/E8 experiments.
+pub fn diverging_cmds(n: usize, profile: ConflictProfile) -> (Vec<KvCmd>, Vec<KvCmd>) {
+    let mut w1 = Workload::new(profile.seed, 0, profile.rho);
+    let mut w2 = Workload::new(profile.seed + 1, 1, profile.rho);
+    let base: Vec<KvCmd> = (0..n / 2).map(|_| w1.next_kv_put()).collect();
+    let mut a = base.clone();
+    let mut b = base;
+    for _ in 0..n.div_ceil(2) {
+        a.push(w1.next_kv_put());
+        b.push(w2.next_kv_put());
+    }
+    (a, b)
+}

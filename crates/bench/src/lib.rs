@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod history_workloads;
 pub mod table;
 
 pub use harness::ClusterHarness;

@@ -18,9 +18,9 @@ use crate::msg::Msg;
 use crate::provedsafe::{pick, proved_safe, OneB};
 use crate::round::Round;
 use crate::schedule::RoundKind;
-use mcpaxos_actor::wire::{from_bytes, to_bytes};
+use mcpaxos_actor::wire::{from_bytes, to_bytes, Wire};
 use mcpaxos_actor::{Actor, Context, Metric, ProcessId, TimerToken};
-use mcpaxos_cstruct::{glb_all, CStruct};
+use mcpaxos_cstruct::{glb_all_ref, CStruct};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -41,11 +41,12 @@ pub struct Acceptor<C: CStruct> {
     vrnd: Round,
     vval: C,
     persisted_major: u32,
-    /// Latest "2a" value per coordinator, per round.
-    round_2a: BTreeMap<Round, BTreeMap<ProcessId, C>>,
+    /// Latest "2a" value per coordinator, per round (payloads shared
+    /// with the messages they arrived in).
+    round_2a: BTreeMap<Round, BTreeMap<ProcessId, Arc<C>>>,
     /// Gossiped "2b" values per acceptor, per round (uncoordinated
     /// recovery collision *detection* only).
-    round_2b: BTreeMap<Round, BTreeMap<ProcessId, C>>,
+    round_2b: BTreeMap<Round, BTreeMap<ProcessId, Arc<C>>>,
     /// Binding "1b" reports exchanged among acceptors for uncoordinated
     /// recovery rounds.
     recovery_1b: BTreeMap<Round, BTreeMap<ProcessId, OneB<C>>>,
@@ -60,7 +61,7 @@ impl<C: CStruct> Acceptor<C> {
             cfg,
             rnd: Round::ZERO,
             vrnd: Round::ZERO,
-            vval: C::bottom(),
+            vval: C::bottom().into(),
             persisted_major: 0,
             round_2a: BTreeMap::new(),
             round_2b: BTreeMap::new(),
@@ -87,8 +88,12 @@ impl<C: CStruct> Acceptor<C> {
     // ----- durability (§4.4) ---------------------------------------------
 
     fn persist_vote(&mut self, ctx: &mut dyn Context<Msg<C>>) {
-        ctx.storage()
-            .write(KEY_VOTE, to_bytes(&(self.vrnd, self.vval.clone())));
+        // Encode the pair in place: no clone of the (possibly large)
+        // accepted value just to serialize it.
+        let mut bytes = Vec::new();
+        self.vrnd.encode(&mut bytes);
+        self.vval.encode(&mut bytes);
+        ctx.storage().write(KEY_VOTE, bytes);
     }
 
     fn persist_round(&mut self, ctx: &mut dyn Context<Msg<C>>) {
@@ -110,12 +115,13 @@ impl<C: CStruct> Acceptor<C> {
 
     fn send_1b(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
         let coords = self.cfg.schedule.coordinators_of(round);
+        // One clone into the Arc; the fan-out then shares it.
         ctx.multicast(
             &coords,
             Msg::P1b {
                 round,
                 vrnd: self.vrnd,
-                vval: self.vval.clone(),
+                vval: Arc::new(self.vval.clone()),
             },
         );
     }
@@ -142,7 +148,7 @@ impl<C: CStruct> Acceptor<C> {
     fn broadcast_2b(&mut self, ctx: &mut dyn Context<Msg<C>>) {
         let msg = Msg::P2b {
             round: self.vrnd,
-            val: self.vval.clone(),
+            val: Arc::new(self.vval.clone()),
         };
         let learners = self.cfg.roles.learners().to_vec();
         ctx.multicast(&learners, msg.clone());
@@ -213,8 +219,8 @@ impl<C: CStruct> Acceptor<C> {
             return;
         }
         let quorum = self.cfg.schedule.coord_quorum(round);
-        let vals: Vec<C> = match self.round_2a.get(&round) {
-            Some(m) if quorum.is_quorum(m.len()) => m.values().cloned().collect(),
+        let vals: Vec<&C> = match self.round_2a.get(&round) {
+            Some(m) if quorum.is_quorum(m.len()) => m.values().map(|v| v.as_ref()).collect(),
             _ => return,
         };
         // Each coordinator quorum L among the reporters yields a valid
@@ -227,7 +233,7 @@ impl<C: CStruct> Acceptor<C> {
         let qsize = quorum.quorum_size();
         let mut u_acc: Option<C> = None;
         crate::quorum::for_each_combination(vals.len(), qsize, |idx| {
-            let g = glb_all(idx.iter().map(|&i| vals[i].clone()));
+            let g = glb_all_ref(idx.iter().map(|&i| vals[i]));
             u_acc = Some(match u_acc.take() {
                 None => g,
                 Some(u) => u
@@ -250,25 +256,27 @@ impl<C: CStruct> Acceptor<C> {
         } else {
             u
         };
-        let was = (self.vrnd, self.vval.clone());
         if !self.vval.is_bottom() && !self.vval.le(&new_val) {
             // A previously persisted vote is superseded by a value that
             // does not extend it: that disk write bought nothing (§4.2).
             ctx.metric(Metric::incr(metrics::OVERWRITTEN_VOTES));
         }
+        // Change detection without snapshotting the whole previous value.
+        let mut changed = self.vrnd != round || self.vval != new_val;
         self.vrnd = round;
         self.vval = new_val;
         // Fast rounds: fold in any buffered proposals right away.
         if self.cfg.schedule.kind(round) == RoundKind::Fast {
+            let before = self.vval.count();
             let buf = std::mem::take(&mut self.fast_buf);
             for cmd in buf {
                 self.vval.append(cmd);
             }
+            changed |= self.vval.count() != before;
         }
         if round > self.rnd {
             self.rnd = round;
         }
-        let changed = was != (self.vrnd, self.vval.clone());
         if changed {
             ctx.metric(Metric::incr(metrics::ACCEPTS));
             self.persist_vote(ctx);
@@ -318,7 +326,7 @@ impl<C: CStruct> Acceptor<C> {
             Some(r) => r,
             None => return,
         };
-        let vals: Vec<&C> = reports.values().collect();
+        let vals: Vec<&C> = reports.values().map(|v| v.as_ref()).collect();
         let mut collided = false;
         'outer: for (i, a) in vals.iter().enumerate() {
             for b in &vals[i + 1..] {
@@ -358,10 +366,11 @@ impl<C: CStruct> Acceptor<C> {
         self.rnd = next;
         self.persist_round(ctx);
         let me = ctx.me();
+        let shared = Arc::new(self.vval.clone());
         let report = OneB {
             from: me,
             vrnd: self.vrnd,
-            vval: self.vval.clone(),
+            vval: shared.clone(),
         };
         self.recovery_1b.entry(next).or_default().insert(me, report);
         let peers: Vec<ProcessId> = self
@@ -377,7 +386,7 @@ impl<C: CStruct> Acceptor<C> {
             Msg::P1b {
                 round: next,
                 vrnd: self.vrnd,
-                vval: self.vval.clone(),
+                vval: shared,
             },
         );
         self.try_complete_recovery(next, ctx);
@@ -481,7 +490,9 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 entry.insert(from, val.clone());
                 // §4.2 collision detection: incompatible suggestions from
                 // coordinators of one round.
-                let collided = entry.iter().any(|(&c, v)| c != from && !v.compatible(&val));
+                let collided = entry
+                    .iter()
+                    .any(|(&c, v)| c != from && !v.compatible(val.as_ref()));
                 self.prune();
                 if collided {
                     self.handle_mc_collision(round, ctx);
@@ -500,7 +511,7 @@ impl<C: CStruct> Actor for Acceptor<C> {
                     // Include our own vote in the picture.
                     if self.vrnd == round {
                         let me = ctx.me();
-                        let own = self.vval.clone();
+                        let own = Arc::new(self.vval.clone());
                         self.round_2b.entry(round).or_default().insert(me, own);
                     }
                     self.prune();
@@ -627,7 +638,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[1, 2]),
+                val: mk(&[1, 2]).into(),
             },
             &mut c,
         );
@@ -636,7 +647,7 @@ mod tests {
             ProcessId(2),
             Msg::P2a {
                 round: r,
-                val: mk(&[2, 3]),
+                val: mk(&[2, 3]).into(),
             },
             &mut c,
         );
@@ -656,7 +667,7 @@ mod tests {
             ProcessId(3),
             Msg::P2a {
                 round: r,
-                val: mk(&[1, 2, 3]),
+                val: mk(&[1, 2, 3]).into(),
             },
             &mut c,
         );
@@ -673,7 +684,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[1]),
+                val: mk(&[1]).into(),
             },
             &mut c,
         );
@@ -681,7 +692,7 @@ mod tests {
             ProcessId(2),
             Msg::P2a {
                 round: r,
-                val: mk(&[1]),
+                val: mk(&[1]).into(),
             },
             &mut c,
         );
@@ -690,7 +701,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[1, 2]),
+                val: mk(&[1, 2]).into(),
             },
             &mut c,
         );
@@ -698,7 +709,7 @@ mod tests {
             ProcessId(2),
             Msg::P2a {
                 round: r,
-                val: mk(&[1, 2]),
+                val: mk(&[1, 2]).into(),
             },
             &mut c,
         );
@@ -715,7 +726,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[9]),
+                val: mk(&[9]).into(),
             },
             &mut c,
         );
@@ -742,7 +753,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[1]),
+                val: mk(&[1]).into(),
             },
             &mut c,
         );
@@ -778,7 +789,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: mk(&[5]),
+                val: mk(&[5]).into(),
             },
             &mut c,
         );
@@ -840,7 +851,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: SingleDecree::decided(1),
+                val: SingleDecree::decided(1).into(),
             },
             &mut c,
         );
@@ -848,7 +859,7 @@ mod tests {
             ProcessId(2),
             Msg::P2a {
                 round: r,
-                val: SingleDecree::decided(2),
+                val: SingleDecree::decided(2).into(),
             },
             &mut c,
         );
@@ -888,7 +899,7 @@ mod tests {
             ProcessId(1),
             Msg::P2a {
                 round: r,
-                val: C::bottom(),
+                val: C::bottom().into(),
             },
             &mut c,
         );

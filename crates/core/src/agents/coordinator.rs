@@ -22,7 +22,7 @@ use crate::round::Round;
 use crate::schedule::RoundKind;
 use mcpaxos_actor::wire::{from_bytes, to_bytes};
 use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
-use mcpaxos_cstruct::{glb_all, CStruct};
+use mcpaxos_cstruct::{glb_all_ref, CStruct};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -42,7 +42,9 @@ pub struct Coordinator<C: CStruct> {
     /// Persisted barrier: never act in rounds ≤ floor after recovery.
     floor: Round,
     round_1b: BTreeMap<Round, BTreeMap<ProcessId, OneB<C>>>,
-    round_2b: BTreeMap<Round, BTreeMap<ProcessId, C>>,
+    /// Observed "2b" values per acceptor, per round (payloads shared with
+    /// the messages they arrived in).
+    round_2b: BTreeMap<Round, BTreeMap<ProcessId, Arc<C>>>,
     collided: BTreeSet<Round>,
     /// Recovery rounds whose "1a" we already echoed to acceptors.
     echoed_1a: BTreeSet<Round>,
@@ -211,7 +213,13 @@ impl<C: CStruct> Coordinator<C> {
         self.last_progress = ctx.now();
         ctx.metric(Metric::incr(metrics::PHASE2_STARTS));
         let acceptors = self.cfg.roles.acceptors().to_vec();
-        ctx.multicast(&acceptors, Msg::P2a { round, val });
+        ctx.multicast(
+            &acceptors,
+            Msg::P2a {
+                round,
+                val: Arc::new(val),
+            },
+        );
     }
 
     /// `Phase2aClassic`: extend the current value with a proposal and
@@ -225,7 +233,8 @@ impl<C: CStruct> Coordinator<C> {
         let val = match &mut self.cval {
             Some(v) => {
                 v.append(cmd);
-                v.clone()
+                // One clone into the Arc; the fan-out below shares it.
+                Arc::new(v.clone())
             }
             None => return,
         };
@@ -242,7 +251,13 @@ impl<C: CStruct> Coordinator<C> {
 
     /// Observes "2b" traffic: progress tracking plus fast-collision
     /// detection and recovery (§4.2).
-    fn observe_2b(&mut self, from: ProcessId, round: Round, val: C, ctx: &mut dyn Context<Msg<C>>) {
+    fn observe_2b(
+        &mut self,
+        from: ProcessId,
+        round: Round,
+        val: Arc<C>,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) {
         let entry = self.round_2b.entry(round).or_default();
         let grew = match entry.get(&from) {
             Some(prev) => val.count() > prev.count(),
@@ -257,7 +272,7 @@ impl<C: CStruct> Coordinator<C> {
         let kind = self.cfg.schedule.kind(round);
         let entry = self.round_2b.get(&round).expect("just inserted");
         if entry.len() >= self.cfg.quorums.size_for(kind) && !self.outstanding.is_empty() {
-            let g = glb_all(entry.values().cloned());
+            let g = glb_all_ref(entry.values().map(|v| v.as_ref()));
             // A command is served when the chosen value contains it — or
             // *absorbs* it (appending changes nothing): with consensus
             // c-structs a losing proposal can never be added once a value
@@ -269,7 +284,7 @@ impl<C: CStruct> Coordinator<C> {
         if kind == RoundKind::Fast {
             if !self.collided.contains(&round) {
                 let entry = self.round_2b.get(&round).expect("just inserted");
-                let vals: Vec<&C> = entry.values().collect();
+                let vals: Vec<&C> = entry.values().map(|v| v.as_ref()).collect();
                 let mut incompatible = false;
                 'outer: for (i, a) in vals.iter().enumerate() {
                     for b in &vals[i + 1..] {
@@ -507,7 +522,7 @@ mod tests {
         Msg::P1b {
             round,
             vrnd: Round::ZERO,
-            vval: C::bottom(),
+            vval: C::bottom().into(),
         }
     }
 
@@ -580,7 +595,7 @@ mod tests {
             .sent
             .iter()
             .filter_map(|(_, m)| match m {
-                Msg::P2a { val, .. } => Some(val),
+                Msg::P2a { val, .. } => Some(val.as_ref()),
                 _ => None,
             })
             .collect();

@@ -5,11 +5,19 @@
 //! learner extends `learned[l]` with it (action `Learn(l)` of §3.2).
 //!
 //! Because different quorums may be completed by different subsets of the
-//! received reports, the learner enumerates quorum-sized subsets of the
+//! received reports, the learner considers quorum-sized subsets of the
 //! reporting acceptors and takes the lub of their glbs — every such glb is
 //! chosen, and by Proposition 1 the chosen set is compatible, so the lub
 //! exists (a failure here is a hard safety-violation signal, valuable in
 //! tests).
+//!
+//! The subset glbs are maintained *incrementally*: each round caches its
+//! per-subset glbs keyed by the acceptor set, and a "2b" arrival updates
+//! only the subsets containing the sender (a subset not containing it
+//! cannot have changed), folding only glbs that actually moved into
+//! `learned`. This replaces the seed's recompute-every-subset-from-full-
+//! clones on every message; `tests/learner_diff.rs` pins the two against
+//! each other.
 
 use crate::agents::metrics;
 use crate::config::DeployConfig;
@@ -17,8 +25,8 @@ use crate::msg::Msg;
 use crate::quorum::{combination_count, for_each_combination};
 use crate::round::Round;
 use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
-use mcpaxos_cstruct::{glb_all, CStruct};
-use std::collections::BTreeMap;
+use mcpaxos_cstruct::{glb_all_ref, CStruct};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Rounds kept live for quorum completion; older rounds are pruned.
@@ -26,12 +34,31 @@ const ROUND_WINDOW: usize = 8;
 /// Above this many quorum subsets, fall back to one conservative glb.
 const MAX_QUORUM_ENUM: u64 = 5_000;
 
+/// Per-round learner bookkeeping: the latest report per acceptor plus the
+/// incrementally maintained glb of every quorum-sized reporter subset.
+struct RoundState<C> {
+    /// Latest "2b" value per acceptor (shared with the arriving message).
+    reports: BTreeMap<ProcessId, Arc<C>>,
+    /// Cached glb per quorum-sized subset, keyed by the (sorted) acceptor
+    /// set. An entry is recomputed only when a member's report changes.
+    glbs: BTreeMap<Vec<ProcessId>, C>,
+}
+
+impl<C> Default for RoundState<C> {
+    fn default() -> Self {
+        RoundState {
+            reports: BTreeMap::new(),
+            glbs: BTreeMap::new(),
+        }
+    }
+}
+
 /// The learner role.
 pub struct Learner<C: CStruct> {
     cfg: Arc<DeployConfig>,
     learned: C,
-    rounds: BTreeMap<Round, BTreeMap<ProcessId, C>>,
-    notified: Vec<C::Cmd>,
+    rounds: BTreeMap<Round, RoundState<C>>,
+    notified: HashSet<C::Cmd>,
     history: Vec<(SimTime, usize)>,
 }
 
@@ -42,7 +69,7 @@ impl<C: CStruct> Learner<C> {
             cfg,
             learned: C::bottom(),
             rounds: BTreeMap::new(),
-            notified: Vec::new(),
+            notified: HashSet::new(),
             history: Vec::new(),
         }
     }
@@ -58,43 +85,57 @@ impl<C: CStruct> Learner<C> {
         &self.history
     }
 
-    fn try_learn(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+    /// Folds one chosen value into `learned`; returns whether it grew.
+    fn absorb(learned: &mut C, g: &C, round: Round) -> bool {
+        let merged = learned.lub(g).unwrap_or_else(|| {
+            panic!(
+                "CONSISTENCY VIOLATION: learned value incompatible with chosen value \
+                 at {round:?}: learned={learned:?} chosen={g:?}"
+            )
+        });
+        if merged != *learned {
+            *learned = merged;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Incremental `Learn(l)`: after `from`'s report for `round` changed,
+    /// refresh the cached glbs of the quorum-sized subsets containing
+    /// `from` and fold the ones that moved into `learned`.
+    fn try_learn(&mut self, round: Round, from: ProcessId, ctx: &mut dyn Context<Msg<C>>) {
         let kind = self.cfg.schedule.kind(round);
         let qsize = self.cfg.quorums.size_for(kind);
-        let reports = match self.rounds.get(&round) {
-            Some(r) if r.len() >= qsize => r,
+        let st = match self.rounds.get_mut(&round) {
+            Some(st) if st.reports.len() >= qsize => st,
             _ => return,
         };
-        let vals: Vec<&C> = reports.values().collect();
+        let learned = &mut self.learned;
         let mut grew = false;
-        let absorb = |g: C, learned: &mut C| {
-            let merged = learned.lub(&g).unwrap_or_else(|| {
-                panic!(
-                    "CONSISTENCY VIOLATION: learned value incompatible with chosen value \
-                     at {round:?}: learned={learned:?} chosen={g:?}"
-                )
-            });
-            if merged != *learned {
-                *learned = merged;
-                true
-            } else {
-                false
-            }
-        };
-        if combination_count(vals.len(), qsize) <= MAX_QUORUM_ENUM {
-            let mut glbs: Vec<C> = Vec::new();
-            for_each_combination(vals.len(), qsize, |idx| {
-                glbs.push(glb_all(idx.iter().map(|&i| vals[i].clone())));
+        let ids: Vec<ProcessId> = st.reports.keys().copied().collect();
+        if combination_count(ids.len(), qsize) <= MAX_QUORUM_ENUM {
+            let reports = &st.reports;
+            let glbs = &mut st.glbs;
+            for_each_combination(ids.len(), qsize, |idx| {
+                // Subsets not containing the changed reporter kept their
+                // cached glb — skip them without touching any c-struct.
+                if !idx.iter().any(|&i| ids[i] == from) {
+                    return true;
+                }
+                let key: Vec<ProcessId> = idx.iter().map(|&i| ids[i]).collect();
+                let g = glb_all_ref(key.iter().map(|p| reports[p].as_ref()));
+                if glbs.get(&key) != Some(&g) {
+                    grew |= Self::absorb(learned, &g, round);
+                    glbs.insert(key, g);
+                }
                 true
             });
-            for g in glbs {
-                grew |= absorb(g, &mut self.learned);
-            }
         } else {
             // Conservative: the glb over all reports is a lower bound of
             // every quorum's glb, hence also chosen.
-            let g = glb_all(vals.into_iter().cloned());
-            grew |= absorb(g, &mut self.learned);
+            let g = glb_all_ref(st.reports.values().map(|v| v.as_ref()));
+            grew |= Self::absorb(learned, &g, round);
         }
         if grew {
             let count = self.learned.count();
@@ -129,9 +170,19 @@ impl<C: CStruct> Actor for Learner<C> {
 
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
         if let Msg::P2b { round, val } = msg {
-            self.rounds.entry(round).or_default().insert(from, val);
+            let st = self.rounds.entry(round).or_default();
+            // A re-delivered identical report cannot move any glb: skip
+            // the subset sweep entirely (duplication is common under the
+            // lossy network model and on retransmission timers).
+            let changed = match st.reports.get(&from) {
+                Some(prev) => **prev != *val,
+                None => true,
+            };
+            st.reports.insert(from, val);
             self.prune();
-            self.try_learn(round, ctx);
+            if changed {
+                self.try_learn(round, from, ctx);
+            }
         }
     }
 
@@ -192,7 +243,7 @@ mod tests {
             acc(1),
             Msg::P2b {
                 round: r,
-                val: mk(&[1, 2]),
+                val: mk(&[1, 2]).into(),
             },
             &mut c,
         );
@@ -201,7 +252,7 @@ mod tests {
             acc(2),
             Msg::P2b {
                 round: r,
-                val: mk(&[2, 3]),
+                val: mk(&[2, 3]).into(),
             },
             &mut c,
         );
@@ -212,7 +263,7 @@ mod tests {
             acc(3),
             Msg::P2b {
                 round: r,
-                val: mk(&[1, 2, 3]),
+                val: mk(&[1, 2, 3]).into(),
             },
             &mut c,
         );
@@ -236,7 +287,7 @@ mod tests {
             acc(1),
             Msg::P2b {
                 round: r,
-                val: mk(&[7]),
+                val: mk(&[7]).into(),
             },
             &mut c,
         );
@@ -244,7 +295,7 @@ mod tests {
             acc(2),
             Msg::P2b {
                 round: r,
-                val: mk(&[7]),
+                val: mk(&[7]).into(),
             },
             &mut c,
         );
@@ -259,7 +310,7 @@ mod tests {
             acc(1),
             Msg::P2b {
                 round: r,
-                val: mk(&[7]),
+                val: mk(&[7]).into(),
             },
             &mut c,
         );
@@ -311,7 +362,7 @@ mod tests {
             acc(1),
             Msg::P2b {
                 round: r1,
-                val: dec(1),
+                val: dec(1).into(),
             },
             &mut c,
         );
@@ -319,7 +370,7 @@ mod tests {
             acc(2),
             Msg::P2b {
                 round: r1,
-                val: dec(1),
+                val: dec(1).into(),
             },
             &mut c,
         );
@@ -327,7 +378,7 @@ mod tests {
             acc(1),
             Msg::P2b {
                 round: r2,
-                val: dec(2),
+                val: dec(2).into(),
             },
             &mut c,
         );
@@ -335,7 +386,7 @@ mod tests {
             acc(2),
             Msg::P2b {
                 round: r2,
-                val: dec(2),
+                val: dec(2).into(),
             },
             &mut c,
         );

@@ -8,11 +8,17 @@ use crate::round::Round;
 use mcpaxos_actor::wire::{Wire, WireError};
 use mcpaxos_actor::ProcessId;
 use mcpaxos_cstruct::CStruct;
+use std::sync::Arc;
 
 /// Messages exchanged by Multicoordinated Paxos agents.
 ///
 /// The type parameter is the c-struct set the deployment agrees on;
-/// commands are `C::Cmd`.
+/// commands are `C::Cmd`. C-struct payloads (`vval`/`val`) are
+/// [`Arc`]-shared: a message cloned for an n-way multicast, or duplicated
+/// by the lossy network, shares one allocation of the (potentially large)
+/// command history instead of deep-copying it per recipient. Receivers
+/// that keep the payload store the same `Arc`, so a value accepted by one
+/// agent and relayed to f+1 others exists once in memory.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg<C: CStruct> {
     /// `⟨"propose", C⟩` — from a proposer to coordinators (and to
@@ -39,16 +45,16 @@ pub enum Msg<C: CStruct> {
         round: Round,
         /// Round at which `vval` was accepted.
         vrnd: Round,
-        /// Latest accepted c-struct.
-        vval: C,
+        /// Latest accepted c-struct, shared across the fan-out.
+        vval: Arc<C>,
     },
     /// `⟨"2a", i, val⟩` — a coordinator forwards (its current suggestion
     /// of) the round-`i` value to acceptors.
     P2a {
         /// The round.
         round: Round,
-        /// The coordinator's current `cval`.
-        val: C,
+        /// The coordinator's current `cval`, shared across the fan-out.
+        val: Arc<C>,
     },
     /// `⟨"2b", i, val⟩` — an acceptor announces its accepted value. Sent
     /// to learners, and to coordinators (who monitor progress, detect fast
@@ -57,8 +63,8 @@ pub enum Msg<C: CStruct> {
     P2b {
         /// The round.
         round: Round,
-        /// The acceptor's accepted c-struct.
-        val: C,
+        /// The acceptor's accepted c-struct, shared across the fan-out.
+        val: Arc<C>,
     },
     /// Nack: the receiver's round is below the sender's current round
     /// (§4.3 — lets a leader discover it must start a higher round).
@@ -144,15 +150,15 @@ impl<C: CStruct> Wire for Msg<C> {
             2 => Ok(Msg::P1b {
                 round: Round::decode(input)?,
                 vrnd: Round::decode(input)?,
-                vval: C::decode(input)?,
+                vval: Arc::<C>::decode(input)?,
             }),
             3 => Ok(Msg::P2a {
                 round: Round::decode(input)?,
-                val: C::decode(input)?,
+                val: Arc::<C>::decode(input)?,
             }),
             4 => Ok(Msg::P2b {
                 round: Round::decode(input)?,
-                val: C::decode(input)?,
+                val: Arc::<C>::decode(input)?,
             }),
             5 => Ok(Msg::RoundTooLow {
                 heard: Round::decode(input)?,
@@ -186,15 +192,15 @@ mod tests {
             Msg::P1b {
                 round: Round::ZERO,
                 vrnd: Round::ZERO,
-                vval: SingleDecree::bottom(),
+                vval: Arc::new(SingleDecree::bottom()),
             },
             Msg::P2a {
                 round: Round::ZERO,
-                val: SingleDecree::bottom(),
+                val: Arc::new(SingleDecree::bottom()),
             },
             Msg::P2b {
                 round: Round::ZERO,
-                val: SingleDecree::bottom(),
+                val: Arc::new(SingleDecree::bottom()),
             },
             Msg::RoundTooLow { heard: Round::ZERO },
             Msg::Heartbeat,
@@ -221,7 +227,7 @@ mod tests {
         type M = Msg<SingleDecree<u32>>;
         let m: M = Msg::P2a {
             round: Round::new(1, 2, 0, 1),
-            val: SingleDecree::decided(9),
+            val: Arc::new(SingleDecree::decided(9)),
         };
         assert_eq!(m.clone(), m);
     }
@@ -244,15 +250,15 @@ mod tests {
             Msg::P1b {
                 round: Round::new(3, 1, 2, 0),
                 vrnd: Round::ZERO,
-                vval: SingleDecree::decided(11),
+                vval: Arc::new(SingleDecree::decided(11)),
             },
             Msg::P2a {
                 round: Round::new(1, 0, 0, 1),
-                val: SingleDecree::bottom(),
+                val: Arc::new(SingleDecree::bottom()),
             },
             Msg::P2b {
                 round: Round::new(1, 0, 0, 1),
-                val: SingleDecree::decided(2),
+                val: Arc::new(SingleDecree::decided(2)),
             },
             Msg::RoundTooLow {
                 heard: Round::new(9, 9, 9, 2),

@@ -22,9 +22,14 @@ use crate::quorum::{combination_count, for_each_combination, QuorumSpec};
 use crate::round::Round;
 use crate::schedule::RoundKind;
 use mcpaxos_actor::ProcessId;
-use mcpaxos_cstruct::{glb_all, lub_all, CStruct};
+use mcpaxos_cstruct::{glb_all_ref, lub_all, CStruct};
+use std::sync::Arc;
 
 /// One phase "1b" report: acceptor `from` last accepted `vval` at `vrnd`.
+///
+/// The value is `Arc`-shared with the message it arrived in (and with any
+/// sibling reports of the same value), so collecting a quorum of reports
+/// never deep-copies a history.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OneB<C> {
     /// The reporting acceptor.
@@ -32,7 +37,7 @@ pub struct OneB<C> {
     /// Round of the acceptor's latest accepted value.
     pub vrnd: Round,
     /// The acceptor's latest accepted c-struct.
-    pub vval: C,
+    pub vval: Arc<C>,
 }
 
 /// Upper bound on the number of quorum intersections [`proved_safe`] will
@@ -65,7 +70,7 @@ pub fn proved_safe<C: CStruct>(
     let kvals: Vec<&C> = msgs
         .iter()
         .filter(|m| m.vrnd == k)
-        .map(|m| &m.vval)
+        .map(|m| m.vval.as_ref())
         .collect();
 
     // Minimum size of Q ∩ R over k-quorums R, for the actual |Q| received:
@@ -100,7 +105,7 @@ pub fn proved_safe<C: CStruct>(
     );
     let mut gamma: Vec<C> = Vec::with_capacity(combos as usize);
     for_each_combination(kvals.len(), inter, |idx| {
-        gamma.push(glb_all(idx.iter().map(|&i| kvals[i].clone())));
+        gamma.push(glb_all_ref(idx.iter().map(|&i| kvals[i])));
         true
     });
     let lub = lub_all(gamma.iter().cloned()).expect(
@@ -131,8 +136,13 @@ pub fn proved_safe_exact<C: CStruct>(
         .filter(|m| m.vrnd == k)
         .map(|m| m.from)
         .collect();
-    let val_of =
-        |p: ProcessId| -> &C { &msgs.iter().find(|m| m.from == p).expect("member of Q").vval };
+    let val_of = |p: ProcessId| -> &C {
+        msgs.iter()
+            .find(|m| m.from == p)
+            .expect("member of Q")
+            .vval
+            .as_ref()
+    };
     if k.is_zero() {
         return vec![val_of(kacceptors[0]).clone()];
     }
@@ -148,7 +158,7 @@ pub fn proved_safe_exact<C: CStruct>(
             .collect();
         // QinterRAtk: intersections whose members all reported vrnd = k.
         if !inter.is_empty() && inter.iter().all(|p| kacceptors.contains(p)) {
-            gamma.push(glb_all(inter.iter().map(|&p| val_of(p).clone())));
+            gamma.push(glb_all_ref(inter.iter().map(|&p| val_of(p))));
         }
         true
     });
@@ -192,7 +202,7 @@ mod tests {
         OneB {
             from: p(from),
             vrnd,
-            vval,
+            vval: Arc::new(vval),
         }
     }
 

@@ -1,0 +1,201 @@
+//! Differential test: the learner's *incremental* per-round quorum-glb
+//! cache must learn exactly what the seed's enumerate-from-scratch rule
+//! learned.
+//!
+//! The oracle below is the seed implementation verbatim: on every "2b" it
+//! re-enumerates every quorum-sized subset of the round's reporters,
+//! recomputes each subset's glb from scratch, and folds every glb into the
+//! learned value. The production learner updates only the subsets
+//! containing the sender and skips unchanged glbs; after every single
+//! message the two must agree (poset equality).
+
+use mcpaxos_actor::wire::{Wire, WireError};
+use mcpaxos_actor::{
+    Actor, Context, MemStore, Metric, ProcessId, SimDuration, SimTime, StableStore, TimerToken,
+};
+use mcpaxos_core::{DeployConfig, Learner, Msg, Policy, Round, RTYPE_MULTI, RTYPE_SINGLE};
+use mcpaxos_cstruct::{glb_all, CStruct, CmdSet, CommandHistory, Conflict, ConflictKeys};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Keyed command for history-valued rounds.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct K(u16, u16);
+
+impl Conflict for K {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::one(u64::from(self.0))
+    }
+}
+
+impl Wire for K {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(K(u16::decode(input)?, u16::decode(input)?))
+    }
+}
+
+/// Sink context: the test only inspects `learned`.
+struct Sink<C: CStruct> {
+    store: MemStore,
+    _c: std::marker::PhantomData<C>,
+}
+
+impl<C: CStruct> Sink<C> {
+    fn new() -> Self {
+        Sink {
+            store: MemStore::new(),
+            _c: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<C: CStruct> Context<Msg<C>> for Sink<C> {
+    fn me(&self) -> ProcessId {
+        ProcessId(9)
+    }
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn send(&mut self, _to: ProcessId, _m: Msg<C>) {}
+    fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+    fn cancel_timer(&mut self, _t: TimerToken) {}
+    fn storage(&mut self) -> &mut dyn StableStore {
+        &mut self.store
+    }
+    fn metric(&mut self, _m: Metric) {}
+    fn random(&mut self) -> u64 {
+        0
+    }
+}
+
+/// All size-`k` subsets of `0..n`, eagerly (tiny n in these tests).
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if k <= n {
+        rec(0, n, k, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+/// The seed's `try_learn`, from scratch over full clones.
+fn oracle_learn<C: CStruct>(learned: &mut C, reports: &BTreeMap<ProcessId, C>, qsize: usize) {
+    if reports.len() < qsize {
+        return;
+    }
+    let vals: Vec<&C> = reports.values().collect();
+    for idx in combinations(vals.len(), qsize) {
+        let g = glb_all(idx.iter().map(|&i| vals[i].clone()));
+        *learned = learned
+            .lub(&g)
+            .expect("oracle: chosen values must be compatible");
+    }
+}
+
+/// Drives a learner and the oracle with the same randomized "2b" stream
+/// (growing values, duplicate deliveries, stale re-deliveries, multiple
+/// interleaved rounds) and checks agreement after every message.
+fn drive<C, F>(seed: u64, steps: usize, mut value_at: F)
+where
+    C: CStruct,
+    F: FnMut(usize) -> C,
+{
+    let cfg = Arc::new(DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated));
+    let qsize = cfg.quorums.classic_size();
+    let mut learner: Learner<C> = Learner::new(cfg);
+    let mut ctx = Sink::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rounds = [
+        Round::new(0, 1, 0, RTYPE_MULTI),
+        Round::new(0, 2, 1, RTYPE_SINGLE),
+    ];
+    // Oracle state: learned value + blind per-round report maps.
+    let mut oracle_learned = C::bottom();
+    let mut oracle_reports: BTreeMap<Round, BTreeMap<ProcessId, C>> = BTreeMap::new();
+    // Per (round, acceptor): how much of the round's master sequence the
+    // acceptor has reported (grows, occasionally re-sent stale).
+    let mut progress: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+
+    for _ in 0..steps {
+        let ri = rng.gen_range(0..rounds.len());
+        let acc = 4 + rng.gen_range(0..5u32); // acceptors a4..a8
+        let entry = progress.entry((ri, acc)).or_insert(0);
+        // 20%: duplicate/stale re-delivery of the current snapshot;
+        // otherwise grow by 0..3 commands first.
+        if rng.gen_range(0..10) >= 2 {
+            *entry += rng.gen_range(0..3usize);
+        }
+        let val = value_at(*entry);
+
+        learner.on_message(
+            ProcessId(acc),
+            Msg::P2b {
+                round: rounds[ri],
+                val: Arc::new(val.clone()),
+            },
+            &mut ctx,
+        );
+        let reports = oracle_reports.entry(rounds[ri]).or_default();
+        reports.insert(ProcessId(acc), val);
+        oracle_learn(&mut oracle_learned, reports, qsize);
+
+        assert_eq!(
+            learner.learned(),
+            &oracle_learned,
+            "incremental learner diverged from enumerate-from-scratch oracle"
+        );
+        assert_eq!(learner.learned().count(), oracle_learned.count());
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_on_sets() {
+    // Fully commuting commands: every subset glb is an intersection.
+    for seed in 0..6 {
+        drive::<CmdSet<u32>, _>(seed, 120, |k| (0..k as u32).collect());
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_on_histories() {
+    // Command histories over a master sequence with a mix of conflicting
+    // (same-key) and commuting commands; acceptors report prefixes of the
+    // master, as accepting quorums do.
+    let master: Vec<K> = (0..64u16).map(|i| K(i % 5, i)).collect();
+    for seed in 0..6 {
+        let m = master.clone();
+        drive::<CommandHistory<K>, _>(seed + 100, 120, move |k| {
+            m.iter().take(k).cloned().collect()
+        });
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_under_heavy_duplication() {
+    // Every value re-delivered many times: exercises the unchanged-report
+    // fast path against the oracle's blind recomputation.
+    let master: Vec<K> = (0..32u16).map(|i| K(i % 3, i)).collect();
+    let m = master.clone();
+    drive::<CommandHistory<K>, _>(7777, 300, move |k| {
+        m.iter().take(k.min(8)).cloned().collect()
+    });
+}

@@ -9,11 +9,155 @@
 //! `Eq` implementation compares the *posets*, not the sequences.
 //!
 //! The lattice operators are the paper's: `Prefix` (pairwise glb),
-//! `AreCompatible`, and the compatible-merge lub, transcribed from the
-//! pseudo-TLA of §3.3.1 into iterative Rust.
+//! `AreCompatible`, and the compatible-merge lub — but unlike the literal
+//! transcription retained as [`crate::RefCommandHistory`], this
+//! implementation is *indexed and incrementally maintained*:
+//!
+//! * a membership index makes `contains`/`index_of`/`append` O(1) amortized
+//!   (the reference scans the sequence);
+//! * a per-command *conflict adjacency* — each position stores the earlier
+//!   positions it conflicts with, discovered through the
+//!   [`Conflict::conflict_keys`] locality hint — turns the O(n²) pairwise
+//!   checks of `eq`/`le` and the O(n³) clone-and-`remove(0)` loops of
+//!   `prefix`/`compatible` into single front-pointer passes costing
+//!   O(n + conflict-edges).
+//!
+//! Positions are stable: a history only ever grows (operators build new
+//! values), so adjacency lists and index entries are never invalidated.
+//! Every operator is a behavioural twin of the reference implementation;
+//! `tests/prop_history_diff.rs` pins the two against each other on random
+//! conflict relations.
 
 use crate::traits::{CStruct, Command};
 use mcpaxos_actor::wire::{Wire, WireError};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A deterministic, seed-free hasher for the history's internal indexes,
+/// so identical runs build identical tables regardless of `RandomState`'s
+/// per-process keys. Word-at-a-time multiply-rotate mixing (the FxHash
+/// construction): command lookups sit on the hot path of every lattice
+/// operator, so one multiply per integer write matters. The maps are only
+/// ever *probed*, never iterated, so hash quality only affects speed, not
+/// observable behaviour.
+#[derive(Default)]
+pub struct DetHasher(u64);
+
+impl DetHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type DetState = BuildHasherDefault<DetHasher>;
+
+/// Conflict-locality hint: the set of *conflict keys* a command declares
+/// (see [`Conflict::conflict_keys`]).
+///
+/// Two commands may conflict only if their key sets intersect, or if either
+/// declares [`ConflictKeys::all`]. At most two keys fit inline (enough for
+/// single-key operations and two-account transfers); commands touching more
+/// state than that declare `all()` and are checked against everything —
+/// always sound, merely unindexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictKeys {
+    keys: [u64; 2],
+    len: u8,
+    all: bool,
+}
+
+impl ConflictKeys {
+    /// The command may conflict with anything (e.g. an audit or barrier);
+    /// also the safe default for relations without a locality structure.
+    pub const fn all() -> Self {
+        ConflictKeys {
+            keys: [0; 2],
+            len: 0,
+            all: true,
+        }
+    }
+
+    /// The command conflicts with nothing (fully commuting commands).
+    pub const fn none() -> Self {
+        ConflictKeys {
+            keys: [0; 2],
+            len: 0,
+            all: false,
+        }
+    }
+
+    /// The command may conflict only with commands sharing key `k`.
+    pub const fn one(k: u64) -> Self {
+        ConflictKeys {
+            keys: [k, 0],
+            len: 1,
+            all: false,
+        }
+    }
+
+    /// The command may conflict only with commands sharing `a` or `b`.
+    pub const fn two(a: u64, b: u64) -> Self {
+        if a == b {
+            Self::one(a)
+        } else {
+            ConflictKeys {
+                keys: [a, b],
+                len: 2,
+                all: false,
+            }
+        }
+    }
+
+    /// Whether this is the universal hint.
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// The declared keys (empty for `all()` and `none()`).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.keys[..usize::from(self.len)]
+    }
+}
 
 /// The conflict relation `#` over commands.
 ///
@@ -25,25 +169,92 @@ use mcpaxos_actor::wire::{Wire, WireError};
 pub trait Conflict {
     /// Whether `self` and `other` do **not** commute.
     fn conflicts(&self, other: &Self) -> bool;
+
+    /// Conservative locality hint for [`Conflict::conflicts`], used by
+    /// [`CommandHistory`] to index the conflict structure.
+    ///
+    /// The contract: if `a.conflicts(&b)`, then either `a` or `b` declares
+    /// [`ConflictKeys::all`], or their key sets intersect. Keys must be a
+    /// pure function of the command (equal commands declare equal keys).
+    /// Declaring *too many* keys (or `all()`, the default) only costs
+    /// speed; declaring too few silently drops conflict edges and breaks
+    /// safety, so only override with the exact locality of your relation —
+    /// e.g. the touched key for a KV store, the two accounts of a
+    /// transfer.
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::all()
+    }
+}
+
+/// A key bucket of the conflict index. The overwhelmingly common case —
+/// one position per key (cold keys in a keyed workload) — stays inline;
+/// only keys actually shared by several commands allocate.
+#[derive(Clone, Debug)]
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Bucket {
+    fn push(&mut self, j: u32) {
+        match self {
+            Bucket::One(a) => *self = Bucket::Many(vec![*a, j]),
+            Bucket::Many(v) => v.push(j),
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Bucket::One(a) => std::slice::from_ref(a),
+            Bucket::Many(v) => v,
+        }
+    }
 }
 
 /// A command history: a poset of commands represented as a sequence
-/// (§3.3.1).
+/// (§3.3.1), indexed for near-linear lattice operators.
+///
+/// The conflict adjacency is stored flat (CSR): `pred_edges[.. pred_off[i]]`
+/// rather than one heap list per position, so building, cloning and
+/// walking a history costs a handful of allocations total, not O(n).
+/// Positions are `u32` — a history holding four billion commands has
+/// bigger problems than this index.
 #[derive(Clone, Debug)]
 pub struct CommandHistory<C> {
     seq: Vec<C>,
+    /// Membership index: command → its position in `seq`.
+    pos: HashMap<C, u32, DetState>,
+    /// Conflict-key index: key → positions declaring it, ascending.
+    by_key: HashMap<u64, Bucket, DetState>,
+    /// Positions of commands declaring [`ConflictKeys::all`].
+    wild: Vec<u32>,
+    /// CSR offsets: position `i`'s conflict predecessors end at
+    /// `pred_off[i]` (and start where `i − 1`'s ended).
+    pred_off: Vec<u32>,
+    /// Flattened adjacency: for each position, the earlier positions it
+    /// conflicts with — the generating edges of the partial order. Within
+    /// one position's range the entries are unordered (consumers treat
+    /// them as a set).
+    pred_edges: Vec<u32>,
 }
 
 impl<C> Default for CommandHistory<C> {
     fn default() -> Self {
-        CommandHistory { seq: Vec::new() }
+        CommandHistory {
+            seq: Vec::new(),
+            pos: HashMap::default(),
+            by_key: HashMap::default(),
+            wild: Vec::new(),
+            pred_off: Vec::new(),
+            pred_edges: Vec::new(),
+        }
     }
 }
 
-impl<C: Conflict + Eq + Clone> CommandHistory<C> {
+impl<C: Conflict + Eq + Hash + Clone> CommandHistory<C> {
     /// Creates the empty history (`⊥`).
     pub fn new() -> Self {
-        CommandHistory { seq: Vec::new() }
+        Self::default()
     }
 
     /// A linear extension of the history: the representing sequence itself.
@@ -62,9 +273,27 @@ impl<C: Conflict + Eq + Clone> CommandHistory<C> {
         self.seq.iter()
     }
 
+    /// Number of conflict edges the index currently stores; exposed for
+    /// benchmarks and diagnostics (operator cost is O(n + edges)).
+    pub fn conflict_edges(&self) -> usize {
+        self.pred_edges.len()
+    }
+
+    /// Position `i`'s conflict predecessors (unordered).
+    #[inline]
+    fn preds_of(&self, i: usize) -> &[u32] {
+        let start = if i == 0 {
+            0
+        } else {
+            self.pred_off[i - 1] as usize
+        };
+        &self.pred_edges[start..self.pred_off[i] as usize]
+    }
+
     /// Whether `a` precedes `b` in the history's partial order, i.e.
     /// whether there is a chain of conflicting commands from `a` to `b`
-    /// with increasing sequence positions.
+    /// with increasing sequence positions. Only positions in `(ia..=ib]`
+    /// are visited, through the conflict adjacency.
     pub fn orders_before(&self, a: &C, b: &C) -> bool {
         let (ia, ib) = match (self.index_of(a), self.index_of(b)) {
             (Some(x), Some(y)) => (x, y),
@@ -73,135 +302,266 @@ impl<C: Conflict + Eq + Clone> CommandHistory<C> {
         if ia >= ib {
             return false;
         }
-        // Transitive closure over positions in (ia..=ib]: reached[k] is true
-        // if seq[k] is ordered after seq[ia].
-        let mut reached = vec![false; self.seq.len()];
-        reached[ia] = true;
+        // Transitive closure over the window: reached[k - ia] is true if
+        // seq[k] is ordered after seq[ia].
+        let mut reached = vec![false; ib - ia + 1];
+        reached[0] = true;
         for k in ia + 1..=ib {
-            if (ia..k).any(|j| reached[j] && self.seq[j].conflicts(&self.seq[k])) {
-                reached[k] = true;
+            if self
+                .preds_of(k)
+                .iter()
+                .any(|&j| j as usize >= ia && reached[j as usize - ia])
+            {
+                reached[k - ia] = true;
             }
         }
-        reached[ib]
+        reached[ib - ia]
     }
 
     fn index_of(&self, c: &C) -> Option<usize> {
-        self.seq.iter().position(|x| x == c)
+        self.pos.get(c).map(|&j| j as usize)
     }
 
-    /// `Descendants(head, tail)` from §3.3.1: removes from `tail` every
-    /// command transitively ordered after `head`, returning the remainder.
-    fn strip_descendants(tail: &[C], head: &C) -> Vec<C> {
-        let mut ancestors: Vec<&C> = vec![head];
-        let mut out = Vec::new();
-        for x in tail {
-            if ancestors.iter().any(|a| x.conflicts(a)) {
-                ancestors.push(x);
-            } else {
-                out.push(x.clone());
+    /// Whether any position satisfying `keep` both *may* conflict with
+    /// `cmd` per the key hint and actually conflicts. Probes the key
+    /// buckets and the wildcard list without materializing a candidate
+    /// set (or every position, if `cmd` itself is a wildcard).
+    fn conflicts_any(&self, cmd: &C, mut keep: impl FnMut(usize) -> bool) -> bool {
+        let ck = cmd.conflict_keys();
+        if ck.is_all() {
+            return (0..self.seq.len()).any(|j| keep(j) && self.seq[j].conflicts(cmd));
+        }
+        for k in ck.as_slice() {
+            if let Some(bucket) = self.by_key.get(k) {
+                if bucket
+                    .as_slice()
+                    .iter()
+                    .any(|&j| keep(j as usize) && self.seq[j as usize].conflicts(cmd))
+                {
+                    return true;
+                }
             }
+        }
+        self.wild
+            .iter()
+            .any(|&j| keep(j as usize) && self.seq[j as usize].conflicts(cmd))
+    }
+
+    /// Appends `cmd` unconditionally (caller has checked membership),
+    /// maintaining all indexes: O(candidate positions) ≈ O(conflict
+    /// degree).
+    ///
+    /// `preds` entries are not ordered; every consumer treats the list as
+    /// a set. The only possible duplicates — a predecessor sharing both
+    /// keys of a two-key command — are filtered so `conflict_edges` stays
+    /// exact.
+    fn push_new(&mut self, cmd: C) {
+        let idx = self.seq.len() as u32;
+        let ck = cmd.conflict_keys();
+        let edge_start = self.pred_edges.len();
+        if ck.is_all() {
+            for (j, x) in self.seq.iter().enumerate() {
+                if x.conflicts(&cmd) {
+                    self.pred_edges.push(j as u32);
+                }
+            }
+        } else {
+            for (ki, k) in ck.as_slice().iter().enumerate() {
+                if let Some(bucket) = self.by_key.get(k) {
+                    for &j in bucket.as_slice() {
+                        // Only a second key bucket can repeat a position.
+                        let dup = ki > 0 && self.pred_edges[edge_start..].contains(&j);
+                        if !dup && self.seq[j as usize].conflicts(&cmd) {
+                            self.pred_edges.push(j);
+                        }
+                    }
+                }
+            }
+            // Wildcard commands live only in `wild`: never a duplicate.
+            for &j in &self.wild {
+                if self.seq[j as usize].conflicts(&cmd) {
+                    self.pred_edges.push(j);
+                }
+            }
+        }
+        self.pred_off.push(self.pred_edges.len() as u32);
+        if ck.is_all() {
+            self.wild.push(idx);
+        } else {
+            for &k in ck.as_slice() {
+                match self.by_key.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(idx),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Bucket::One(idx));
+                    }
+                }
+            }
+        }
+        self.pos.insert(cmd.clone(), idx);
+        self.seq.push(cmd);
+    }
+
+    /// Builds the history whose sequence is `src`'s restricted to the
+    /// ascending positions `kept`, reusing `src`'s conflict adjacency
+    /// (the conflict relation is pairwise, so the kept pairs' edges are
+    /// exactly `src`'s edges among kept positions) — no conflict checks,
+    /// no candidate scans.
+    fn from_subsequence(src: &Self, kept: &[usize]) -> Self {
+        let mut renumber = vec![u32::MAX; src.seq.len()];
+        for (ni, &oj) in kept.iter().enumerate() {
+            renumber[oj] = ni as u32;
+        }
+        let mut out = Self::default();
+        out.seq.reserve(kept.len());
+        out.pred_off.reserve(kept.len());
+        out.pos = HashMap::with_capacity_and_hasher(kept.len(), DetState::default());
+        out.by_key = HashMap::with_capacity_and_hasher(kept.len(), DetState::default());
+        for &oj in kept {
+            let ni = out.seq.len() as u32;
+            let cmd = src.seq[oj].clone();
+            let ck = cmd.conflict_keys();
+            if ck.is_all() {
+                out.wild.push(ni);
+            } else {
+                for &k in ck.as_slice() {
+                    match out.by_key.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(ni),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(Bucket::One(ni));
+                        }
+                    }
+                }
+            }
+            out.pred_edges.extend(
+                src.preds_of(oj)
+                    .iter()
+                    .filter(|&&p| renumber[p as usize] != u32::MAX)
+                    .map(|&p| renumber[p as usize]),
+            );
+            out.pred_off.push(out.pred_edges.len() as u32);
+            out.pos.insert(cmd.clone(), ni);
+            out.seq.push(cmd);
         }
         out
     }
 
-    /// Scans `i` for `head`: `Ok(j)` if `i[j] == head` and no conflicting
-    /// command precedes it, `Err(true)` if a conflicting command is found
-    /// first, `Err(false)` if `head` does not occur.
-    fn scan_for(head: &C, i: &[C]) -> Result<usize, bool> {
-        for (j, x) in i.iter().enumerate() {
-            if x == head {
-                return Ok(j);
-            }
-            if head.conflicts(x) {
-                return Err(true);
+    /// Scans `i` for `head` among its non-removed positions, mirroring the
+    /// reference `scan_for`: `Ok(j)` if `head` occurs (at `j`) with no
+    /// remaining conflicting command before it, `Err(true)` if a remaining
+    /// conflicting command shields it (or `head` does not occur but
+    /// conflicts with something remaining), `Err(false)` if `head` neither
+    /// occurs nor conflicts.
+    fn scan_for(head: &C, i: &Self, removed_i: &[bool]) -> Result<usize, bool> {
+        if let Some(&j) = i.pos.get(head) {
+            let j = j as usize;
+            if !removed_i[j] {
+                return if i.preds_of(j).iter().any(|&p| !removed_i[p as usize]) {
+                    Err(true)
+                } else {
+                    Ok(j)
+                };
             }
         }
-        Err(false)
+        // Head is not in the remaining i: does anything remaining
+        // conflict with it?
+        Err(i.conflicts_any(head, |j| !removed_i[j]))
     }
 
     /// The paper's `Prefix(H, I)` operator: the glb of two histories.
-    fn prefix(h: &[C], i: &[C]) -> Vec<C> {
-        let mut h = h.to_vec();
-        let mut i = i.to_vec();
-        let mut out = Vec::new();
-        while !h.is_empty() && !i.is_empty() {
-            let head = h[0].clone();
-            match Self::scan_for(&head, &i) {
+    ///
+    /// Single forward pass over `h` with tombstones instead of the
+    /// reference's clone-and-`remove(0)` loops. A failed head "dies", and
+    /// death propagates forward through conflict edges — equivalent to the
+    /// reference's repeated `Descendants` stripping, because an element
+    /// conflicting with a dead predecessor was necessarily still present
+    /// when that predecessor died (consumption only happens at the front,
+    /// at positions before the dead element).
+    fn prefix(h: &Self, i: &Self) -> Vec<usize> {
+        let mut kept = Vec::new();
+        let mut dead_h = vec![false; h.seq.len()];
+        let mut removed_i = vec![false; i.seq.len()];
+        let mut remaining_i = i.seq.len();
+        for ph in 0..h.seq.len() {
+            if remaining_i == 0 {
+                break;
+            }
+            if h.preds_of(ph).iter().any(|&q| dead_h[q as usize]) {
+                dead_h[ph] = true; // transitively ordered after a dead head
+                continue;
+            }
+            let head = &h.seq[ph];
+            match Self::scan_for(head, i, &removed_i) {
                 Ok(j) => {
                     // Head is in the common prefix.
-                    out.push(head);
-                    h.remove(0);
-                    i.remove(j);
+                    kept.push(ph);
+                    removed_i[j] = true;
+                    remaining_i -= 1;
                 }
-                _ => {
+                Err(_) => {
                     // Head (and everything ordered after it) is not common.
-                    h = Self::strip_descendants(&h[1..], &head);
+                    dead_h[ph] = true;
                 }
             }
         }
-        out
+        kept
     }
 
-    /// The paper's `AreCompatible(H, I, A)` operator.
-    fn compatible_seq(h: &[C], i: &[C]) -> bool {
-        let mut h = h.to_vec();
-        let mut i = i.to_vec();
-        let mut skipped: Vec<C> = Vec::new(); // the accumulator A
-        while !h.is_empty() && !i.is_empty() {
-            let head = h.remove(0);
-            match Self::scan_for(&head, &i) {
+    /// The paper's `AreCompatible(H, I, A)` operator, with the skipped-set
+    /// accumulator `A` realised as a bitmap over `h`'s positions and the
+    /// "conflicts with a skipped command" test answered by the adjacency.
+    fn compatible_impl(h: &Self, i: &Self) -> bool {
+        let mut removed_i = vec![false; i.seq.len()];
+        let mut remaining_i = i.seq.len();
+        let mut skipped_h = vec![false; h.seq.len()];
+        for ph in 0..h.seq.len() {
+            if remaining_i == 0 {
+                break;
+            }
+            let head = &h.seq[ph];
+            match Self::scan_for(head, i, &removed_i) {
                 Err(true) => return false, // ordered differently in h and i
                 Ok(j) => {
                     // Common command: it must not conflict with an h-only
-                    // command that precedes it in h (that command would have
-                    // to both precede and follow it in any upper bound).
-                    if skipped.iter().any(|f| head.conflicts(f)) {
+                    // command that precedes it in h (that command would
+                    // have to both precede and follow it in any upper
+                    // bound).
+                    if h.preds_of(ph).iter().any(|&q| skipped_h[q as usize]) {
                         return false;
                     }
-                    i.remove(j);
+                    removed_i[j] = true;
+                    remaining_i -= 1;
                 }
-                Err(false) => skipped.push(head),
+                Err(false) => skipped_h[ph] = true,
             }
         }
         true
     }
-
-    /// The paper's lub of two *compatible* histories: `h`'s sequence
-    /// followed by the commands of `i` not in `h`, in `i`'s order.
-    fn lub_seq(h: &[C], i: &[C]) -> Vec<C> {
-        let mut out = h.to_vec();
-        for x in i {
-            if !out.contains(x) {
-                out.push(x.clone());
-            }
-        }
-        out
-    }
 }
 
-impl<C: Conflict + Eq + Clone> PartialEq for CommandHistory<C> {
+impl<C: Conflict + Eq + Hash + Clone> PartialEq for CommandHistory<C> {
     /// Poset equality: same command set and the same orientation for every
     /// conflicting pair. (The partial order is generated by conflict edges,
     /// so agreeing on edge orientations implies equal transitive closures.)
+    /// O(n + conflict-edges) through the indexes.
     fn eq(&self, other: &Self) -> bool {
         if self.seq.len() != other.seq.len() {
             return false;
         }
-        // Same elements.
-        for x in &self.seq {
-            if !other.seq.contains(x) {
-                return false;
+        // Same elements, noting where each of ours sits in `other`.
+        let mut other_pos = vec![0u32; self.seq.len()];
+        for (idx, x) in self.seq.iter().enumerate() {
+            match other.pos.get(x) {
+                Some(&j) => other_pos[idx] = j,
+                None => return false,
             }
         }
-        // Same orientation for conflicting pairs.
-        for (ia, a) in self.seq.iter().enumerate() {
-            for b in &self.seq[ia + 1..] {
-                if a.conflicts(b) {
-                    let ja = other.index_of(a).expect("checked above");
-                    let jb = other.index_of(b).expect("checked above");
-                    if ja > jb {
-                        return false;
-                    }
+        // Same orientation for every conflicting pair: the pairs are
+        // exactly our adjacency edges (equal command sets have equal edge
+        // sets).
+        for ib in 0..self.seq.len() {
+            for &ia in self.preds_of(ib) {
+                if other_pos[ia as usize] > other_pos[ib] {
+                    return false;
                 }
             }
         }
@@ -209,14 +569,14 @@ impl<C: Conflict + Eq + Clone> PartialEq for CommandHistory<C> {
     }
 }
 
-impl<C: Conflict + Eq + Clone> Eq for CommandHistory<C> {}
+impl<C: Conflict + Eq + Hash + Clone> Eq for CommandHistory<C> {}
 
-impl<C: Conflict + Eq + Clone> FromIterator<C> for CommandHistory<C> {
+impl<C: Conflict + Eq + Hash + Clone> FromIterator<C> for CommandHistory<C> {
     fn from_iter<I: IntoIterator<Item = C>>(iter: I) -> Self {
         let mut h = CommandHistory::new();
         for c in iter {
-            if !h.seq.contains(&c) {
-                h.seq.push(c);
+            if !h.pos.contains_key(&c) {
+                h.push_new(c);
             }
         }
         h
@@ -231,8 +591,8 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn append(&mut self, cmd: C) {
-        if !self.seq.contains(&cmd) {
-            self.seq.push(cmd);
+        if !self.pos.contains_key(&cmd) {
+            self.push_new(cmd);
         }
     }
 
@@ -242,32 +602,27 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
         // (2) conflicting pairs within self keep their orientation in other;
         // (3) every other-only command conflicting with a self command is
         //     ordered after it in other (appends go at the end).
-        for x in &self.seq {
-            if !other.seq.contains(x) {
-                return false;
+        let mut other_pos = vec![0u32; self.seq.len()];
+        for (idx, x) in self.seq.iter().enumerate() {
+            match other.pos.get(x) {
+                Some(&j) => other_pos[idx] = j,
+                None => return false,
             }
         }
-        for (ia, a) in self.seq.iter().enumerate() {
-            for b in &self.seq[ia + 1..] {
-                if a.conflicts(b) {
-                    let ja = other.index_of(a).expect("checked above");
-                    let jb = other.index_of(b).expect("checked above");
-                    if ja > jb {
-                        return false;
-                    }
+        for ib in 0..self.seq.len() {
+            for &ia in self.preds_of(ib) {
+                if other_pos[ia as usize] > other_pos[ib] {
+                    return false;
                 }
             }
         }
-        for (jx, x) in other.seq.iter().enumerate() {
-            if self.seq.contains(x) {
-                continue;
-            }
-            for y in &self.seq {
-                if x.conflicts(y) {
-                    let jy = other.index_of(y).expect("y is in other");
-                    if jx < jy {
-                        return false;
-                    }
+        // (3), read from the self side: a violation is an other-only
+        // command x preceding some y ∈ self in other with x # y — i.e. a
+        // conflict-predecessor of y (in other) that self does not contain.
+        for &jy in &other_pos {
+            for &p in other.preds_of(jy as usize) {
+                if !self.pos.contains_key(&other.seq[p as usize]) {
+                    return false;
                 }
             }
         }
@@ -275,27 +630,31 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn glb(&self, other: &Self) -> Self {
-        CommandHistory {
-            seq: Self::prefix(&self.seq, &other.seq),
-        }
+        Self::from_subsequence(self, &Self::prefix(self, other))
     }
 
     fn lub(&self, other: &Self) -> Option<Self> {
-        if Self::compatible_seq(&self.seq, &other.seq) {
-            Some(CommandHistory {
-                seq: Self::lub_seq(&self.seq, &other.seq),
-            })
+        if Self::compatible_impl(self, other) {
+            // h's sequence followed by the commands of `other` not in h,
+            // in `other`'s order; self's indexes are reused wholesale.
+            let mut out = self.clone();
+            for x in &other.seq {
+                if !out.pos.contains_key(x) {
+                    out.push_new(x.clone());
+                }
+            }
+            Some(out)
         } else {
             None
         }
     }
 
     fn compatible(&self, other: &Self) -> bool {
-        Self::compatible_seq(&self.seq, &other.seq)
+        Self::compatible_impl(self, other)
     }
 
     fn contains(&self, cmd: &C) -> bool {
-        self.seq.contains(cmd)
+        self.pos.contains_key(cmd)
     }
 
     fn commands(&self) -> Vec<C> {
@@ -305,16 +664,20 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     fn count(&self) -> usize {
         self.seq.len()
     }
+
+    fn is_bottom(&self) -> bool {
+        self.seq.is_empty()
+    }
 }
 
-impl<C: Wire> Wire for CommandHistory<C> {
+impl<C: Wire + Conflict + Eq + Hash + Clone> Wire for CommandHistory<C> {
     fn encode(&self, out: &mut Vec<u8>) {
         self.seq.encode(out);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(CommandHistory {
-            seq: Vec::<C>::decode(input)?,
-        })
+        // Rebuild the indexes from the decoded sequence (deduplicating, as
+        // `append` would).
+        Ok(Vec::<C>::decode(input)?.into_iter().collect())
     }
 }
 
@@ -324,12 +687,15 @@ mod tests {
     use mcpaxos_actor::wire::{from_bytes, to_bytes};
 
     /// Test command: conflicts iff same key; payload distinguishes them.
-    #[derive(Clone, Debug, PartialEq, Eq)]
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
     struct K(u32, u32); // (key, uid)
 
     impl Conflict for K {
         fn conflicts(&self, other: &Self) -> bool {
             self.0 == other.0
+        }
+        fn conflict_keys(&self) -> ConflictKeys {
+            ConflictKeys::one(u64::from(self.0))
         }
     }
 
@@ -447,11 +813,15 @@ mod tests {
         assert!(!hist.orders_before(&a, &b)); // commuting: unordered
 
         // Transitivity through a middle command conflicting with both.
-        #[derive(Clone, Debug, PartialEq, Eq)]
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
         struct Chain(u32);
         impl Conflict for Chain {
             fn conflicts(&self, other: &Self) -> bool {
                 self.0.abs_diff(other.0) <= 1
+            }
+            fn conflict_keys(&self) -> ConflictKeys {
+                // |a − b| ≤ 1 ⟹ {a, a+1} ∩ {b, b+1} ≠ ∅.
+                ConflictKeys::two(u64::from(self.0), u64::from(self.0) + 1)
             }
         }
         impl Wire for Chain {
@@ -466,6 +836,7 @@ mod tests {
         // 0 # 1, 1 # 2, but 0 and 2 do not conflict directly: still ordered
         // through 1.
         assert!(hist.orders_before(&Chain(0), &Chain(2)));
+        assert_eq!(hist.conflict_edges(), 2);
     }
 
     #[test]
@@ -480,6 +851,7 @@ mod tests {
         let hist = h(&[K(1, 0), K(2, 0), K(1, 1)]);
         let back: CommandHistory<K> = from_bytes(&to_bytes(&hist)).unwrap();
         assert_eq!(back, hist);
+        assert_eq!(back.as_slice(), hist.as_slice());
     }
 
     #[test]
@@ -491,5 +863,46 @@ mod tests {
         assert_eq!(bot.lub(&hist).unwrap(), hist);
         assert_eq!(bot.glb(&hist), bot);
         assert!(bot.is_bottom());
+    }
+
+    #[test]
+    fn conflict_keys_inline_sets() {
+        assert!(ConflictKeys::all().is_all());
+        assert!(ConflictKeys::all().as_slice().is_empty());
+        assert!(!ConflictKeys::none().is_all());
+        assert!(ConflictKeys::none().as_slice().is_empty());
+        assert_eq!(ConflictKeys::one(7).as_slice(), &[7]);
+        assert_eq!(ConflictKeys::two(7, 9).as_slice(), &[7, 9]);
+        assert_eq!(ConflictKeys::two(7, 7).as_slice(), &[7]);
+    }
+
+    /// A command with the *default* (universal) key hint: the index must
+    /// degrade to checking every pair, never to missing an edge.
+    #[test]
+    fn default_hint_is_sound() {
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Blunt(u32, u32);
+        impl Conflict for Blunt {
+            fn conflicts(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Wire for Blunt {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+                self.1.encode(out);
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(Blunt(u32::decode(input)?, u32::decode(input)?))
+            }
+        }
+        let a = Blunt(1, 0);
+        let x = Blunt(1, 1);
+        let b = Blunt(2, 0);
+        let hist: CommandHistory<Blunt> = [a.clone(), b.clone(), x.clone()].into_iter().collect();
+        assert!(hist.orders_before(&a, &x));
+        assert_eq!(hist.conflict_edges(), 1);
+        let h2: CommandHistory<Blunt> = [x, a].into_iter().collect();
+        assert!(!hist.compatible(&h2));
     }
 }

@@ -19,7 +19,9 @@
 //! * [`CommandHistory`] — the paper's §3.3 instantiation for Generic
 //!   Broadcast: sequences interpreted as partial orders via a conflict
 //!   relation, with the `Prefix`, `AreCompatible`, glb and lub operators of
-//!   §3.3.1.
+//!   §3.3.1, indexed so every operator runs in O(n + conflict-edges). The
+//!   literal pseudo-TLA transcription is retained as
+//!   [`RefCommandHistory`], a differential-testing oracle.
 //!
 //! `CommandHistory` with an always-conflicting relation behaves exactly like
 //! [`CmdSeq`], and with a never-conflicting relation exactly like
@@ -43,11 +45,13 @@ pub mod axioms;
 mod cmdseq;
 mod cmdset;
 mod history;
+mod history_ref;
 mod single;
 mod traits;
 
 pub use cmdseq::CmdSeq;
 pub use cmdset::CmdSet;
-pub use history::{CommandHistory, Conflict};
+pub use history::{CommandHistory, Conflict, ConflictKeys};
+pub use history_ref::RefCommandHistory;
 pub use single::SingleDecree;
-pub use traits::{compatible_all, glb_all, lub_all, CStruct, Command};
+pub use traits::{compatible_all, glb_all, glb_all_ref, lub_all, CStruct, Command};

@@ -2,16 +2,19 @@
 
 use mcpaxos_actor::wire::Wire;
 use std::fmt;
+use std::hash::Hash;
 
 /// A command that can be appended to a c-struct.
 ///
 /// This is a blanket-implemented alias for the bounds every command type
-/// needs: value semantics (`Clone`/`Eq`), debuggability, durability
-/// ([`Wire`], because acceptors persist accepted c-structs) and `'static`
-/// (c-structs travel inside messages owned by the runtime).
-pub trait Command: Clone + Eq + fmt::Debug + Wire + Send + 'static {}
+/// needs: value semantics (`Clone`/`Eq`), hashability (`Hash`, so indexed
+/// c-structs such as [`crate::CommandHistory`] can answer membership in
+/// O(1)), debuggability, durability ([`Wire`], because acceptors persist
+/// accepted c-structs) and `'static` (c-structs travel inside messages
+/// owned by the runtime).
+pub trait Command: Clone + Eq + Hash + fmt::Debug + Wire + Send + 'static {}
 
-impl<T: Clone + Eq + fmt::Debug + Wire + Send + 'static> Command for T {}
+impl<T: Clone + Eq + Hash + fmt::Debug + Wire + Send + 'static> Command for T {}
 
 /// A command structure set, in the sense of Lamport's CS0–CS4 axioms
 /// (reproduced in §2.3.1 of the Multicoordinated Paxos paper).
@@ -100,6 +103,31 @@ pub fn glb_all<C: CStruct>(items: impl IntoIterator<Item = C>) -> C {
     it.fold(first, |acc, x| acc.glb(&x))
 }
 
+/// Greatest lower bound of a non-empty collection of c-structs, by
+/// reference: no input is cloned (only the fold's intermediate results are
+/// allocated, which `glb` does anyway). A singleton collection clones its
+/// one element.
+///
+/// This is the hot-path variant used by the agents, which hold their
+/// quorum reports in maps and must not deep-copy every c-struct just to
+/// fold them.
+///
+/// # Panics
+///
+/// Panics if `items` is empty, as [`glb_all`].
+pub fn glb_all_ref<'a, C: CStruct>(items: impl IntoIterator<Item = &'a C>) -> C {
+    let mut it = items.into_iter();
+    let first = it.next().expect("glb_all requires a non-empty collection");
+    let mut acc: Option<C> = None;
+    for x in it {
+        acc = Some(match acc {
+            None => first.glb(x),
+            Some(a) => a.glb(x),
+        });
+    }
+    acc.unwrap_or_else(|| first.clone())
+}
+
 /// Least upper bound of a non-empty collection of c-structs, or `None` if
 /// the collection is not compatible.
 ///
@@ -145,6 +173,9 @@ mod tests {
         };
         let g = glb_all(vec![mk(&[1, 2, 3]), mk(&[2, 3, 4]), mk(&[2, 5])]);
         assert_eq!(g, mk(&[2]));
+        let items = [mk(&[1, 2, 3]), mk(&[2, 3, 4]), mk(&[2, 5])];
+        assert_eq!(glb_all_ref(items.iter()), mk(&[2]));
+        assert_eq!(glb_all_ref([mk(&[7])].iter()), mk(&[7]));
         let l = lub_all(vec![mk(&[1]), mk(&[2])]).unwrap();
         assert_eq!(l, mk(&[1, 2]));
         assert!(compatible_all(&[mk(&[1]), mk(&[2]), mk(&[3])]));

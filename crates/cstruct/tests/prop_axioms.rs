@@ -5,7 +5,9 @@
 
 use mcpaxos_actor::wire::{Wire, WireError};
 use mcpaxos_cstruct::axioms::check_all;
-use mcpaxos_cstruct::{CStruct, CmdSeq, CmdSet, CommandHistory, Conflict, SingleDecree};
+use mcpaxos_cstruct::{
+    CStruct, CmdSeq, CmdSet, CommandHistory, Conflict, ConflictKeys, SingleDecree,
+};
 use proptest::prelude::*;
 
 /// A command whose conflict relation is "same key": models operations on a
@@ -19,6 +21,9 @@ struct KeyCmd {
 impl Conflict for KeyCmd {
     fn conflicts(&self, other: &Self) -> bool {
         self.key == other.key
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::one(u64::from(self.key))
     }
 }
 
@@ -43,6 +48,9 @@ impl Conflict for TotalCmd {
     fn conflicts(&self, _other: &Self) -> bool {
         true
     }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::all()
+    }
 }
 
 impl Wire for TotalCmd {
@@ -61,6 +69,9 @@ struct FreeCmd(u16);
 impl Conflict for FreeCmd {
     fn conflicts(&self, _other: &Self) -> bool {
         false
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::none()
     }
 }
 

@@ -1,0 +1,269 @@
+//! Differential proptest suite: the indexed [`CommandHistory`] must agree
+//! with the retained literal transcription [`RefCommandHistory`] on every
+//! lattice operator, for random conflict relations — keyed, universal,
+//! empty, chained, and *unhinted* (a relation whose `conflict_keys` stays
+//! at the sound default), so both the indexed fast path and the wildcard
+//! fallback are pinned against the oracle.
+
+use mcpaxos_actor::wire::{Wire, WireError};
+use mcpaxos_cstruct::{CStruct, CommandHistory, Conflict, ConflictKeys, RefCommandHistory};
+use proptest::prelude::*;
+
+/// Same-key interference with an exact one-key hint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct KeyCmd {
+    key: u8,
+    uid: u16,
+}
+
+impl Conflict for KeyCmd {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::one(u64::from(self.key))
+    }
+}
+
+impl Wire for KeyCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.uid.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(KeyCmd {
+            key: u8::decode(input)?,
+            uid: u16::decode(input)?,
+        })
+    }
+}
+
+/// The same relation, but with the default (universal) hint: exercises
+/// the unindexed fallback, which must still match the oracle.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct UnhintedCmd(KeyCmd);
+
+impl Conflict for UnhintedCmd {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.0.conflicts(&other.0)
+    }
+}
+
+impl Wire for UnhintedCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(UnhintedCmd(KeyCmd::decode(input)?))
+    }
+}
+
+/// Adjacent-value interference with a two-key hint: conflicts span key
+/// buckets, catching bugs in candidate-set union and deduplication.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ChainCmd(u8);
+
+impl Conflict for ChainCmd {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.0.abs_diff(other.0) <= 1
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::two(u64::from(self.0), u64::from(self.0) + 1)
+    }
+}
+
+impl Wire for ChainCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ChainCmd(u8::decode(input)?))
+    }
+}
+
+/// A mixed relation: some commands are "barriers" conflicting with
+/// everything (the `ConflictKeys::all()` wildcard), the rest are keyed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum MixedCmd {
+    Keyed(u8, u16),
+    Barrier(u16),
+}
+
+impl Conflict for MixedCmd {
+    fn conflicts(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MixedCmd::Barrier(_), _) | (_, MixedCmd::Barrier(_)) => true,
+            (MixedCmd::Keyed(a, _), MixedCmd::Keyed(b, _)) => a == b,
+        }
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        match self {
+            MixedCmd::Keyed(k, _) => ConflictKeys::one(u64::from(*k)),
+            MixedCmd::Barrier(_) => ConflictKeys::all(),
+        }
+    }
+}
+
+impl Wire for MixedCmd {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MixedCmd::Keyed(k, u) => {
+                0u8.encode(out);
+                k.encode(out);
+                u.encode(out);
+            }
+            MixedCmd::Barrier(u) => {
+                1u8.encode(out);
+                u.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(MixedCmd::Keyed(u8::decode(input)?, u16::decode(input)?)),
+            1 => Ok(MixedCmd::Barrier(u16::decode(input)?)),
+            _ => Err(WireError { what: "bad mixed" }),
+        }
+    }
+}
+
+/// Asserts every operator agrees between the indexed history and the
+/// oracle built from the same command sequences. Comparing the *sequences*
+/// (not just poset equality) pins the implementations as behavioural
+/// twins.
+fn assert_agree<C>(a_cmds: &[C], b_cmds: &[C]) -> Result<(), TestCaseError>
+where
+    C: Conflict + Eq + std::hash::Hash + Clone + std::fmt::Debug + Wire + Send + 'static,
+{
+    let ia: CommandHistory<C> = a_cmds.iter().cloned().collect();
+    let ib: CommandHistory<C> = b_cmds.iter().cloned().collect();
+    let ra: RefCommandHistory<C> = a_cmds.iter().cloned().collect();
+    let rb: RefCommandHistory<C> = b_cmds.iter().cloned().collect();
+
+    // Construction dedups identically.
+    prop_assert_eq!(ia.as_slice(), ra.as_slice());
+    prop_assert_eq!(ib.as_slice(), rb.as_slice());
+
+    // Relations.
+    prop_assert_eq!(ia == ib, ra == rb, "eq diverged");
+    prop_assert_eq!(ia.le(&ib), ra.le(&rb), "le diverged");
+    prop_assert_eq!(ib.le(&ia), rb.le(&ra), "le (flipped) diverged");
+    prop_assert_eq!(
+        ia.compatible(&ib),
+        ra.compatible(&rb),
+        "compatible diverged"
+    );
+
+    // Lattice operators, compared by representing sequence.
+    prop_assert_eq!(
+        ia.glb(&ib).commands(),
+        ra.glb(&rb).commands(),
+        "glb diverged"
+    );
+    prop_assert_eq!(
+        ib.glb(&ia).commands(),
+        rb.glb(&ra).commands(),
+        "glb (flipped) diverged"
+    );
+    let il = ia.lub(&ib).map(|l| l.commands());
+    let rl = ra.lub(&rb).map(|l| l.commands());
+    prop_assert_eq!(il, rl, "lub diverged");
+
+    // Membership and pairwise ordering over every command mentioned.
+    for c in a_cmds.iter().chain(b_cmds) {
+        prop_assert_eq!(ia.contains(c), ra.contains(c));
+    }
+    for x in a_cmds {
+        for y in a_cmds {
+            prop_assert_eq!(
+                ia.orders_before(x, y),
+                ra.orders_before(x, y),
+                "orders_before diverged on {:?} {:?}",
+                x,
+                y
+            );
+        }
+    }
+    Ok(())
+}
+
+fn key_cmd() -> impl Strategy<Value = KeyCmd> {
+    (0u8..4, 0u16..8).prop_map(|(key, uid)| KeyCmd { key, uid })
+}
+
+fn mixed_cmd() -> impl Strategy<Value = MixedCmd> {
+    prop_oneof![
+        (0u8..4, 0u16..8).prop_map(|(k, u)| MixedCmd::Keyed(k, u)),
+        (0u16..3).prop_map(MixedCmd::Barrier),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Keyed relation, indexed fast path.
+    #[test]
+    fn keyed_histories_match_reference(
+        a in prop::collection::vec(key_cmd(), 0..14),
+        b in prop::collection::vec(key_cmd(), 0..14),
+        shared in prop::collection::vec(key_cmd(), 0..6),
+    ) {
+        // Seed both sides with a shared prefix so glb/lub have real work.
+        let a_cmds: Vec<KeyCmd> = shared.iter().cloned().chain(a).collect();
+        let b_cmds: Vec<KeyCmd> = shared.into_iter().chain(b).collect();
+        assert_agree(&a_cmds, &b_cmds)?;
+    }
+
+    /// Same relation through the unindexed wildcard fallback.
+    #[test]
+    fn unhinted_histories_match_reference(
+        a in prop::collection::vec(key_cmd(), 0..10),
+        b in prop::collection::vec(key_cmd(), 0..10),
+        shared in prop::collection::vec(key_cmd(), 0..5),
+    ) {
+        let a_cmds: Vec<UnhintedCmd> =
+            shared.iter().cloned().chain(a).map(UnhintedCmd).collect();
+        let b_cmds: Vec<UnhintedCmd> =
+            shared.into_iter().chain(b).map(UnhintedCmd).collect();
+        assert_agree(&a_cmds, &b_cmds)?;
+    }
+
+    /// Conflicts that cross key buckets (two-key hints).
+    #[test]
+    fn chained_histories_match_reference(
+        a in prop::collection::vec((0u8..8).prop_map(ChainCmd), 0..12),
+        b in prop::collection::vec((0u8..8).prop_map(ChainCmd), 0..12),
+    ) {
+        assert_agree(&a, &b)?;
+    }
+
+    /// Keyed commands mixed with universal barriers.
+    #[test]
+    fn mixed_histories_match_reference(
+        a in prop::collection::vec(mixed_cmd(), 0..12),
+        b in prop::collection::vec(mixed_cmd(), 0..12),
+        shared in prop::collection::vec(mixed_cmd(), 0..5),
+    ) {
+        let a_cmds: Vec<MixedCmd> = shared.iter().cloned().chain(a).collect();
+        let b_cmds: Vec<MixedCmd> = shared.into_iter().chain(b).collect();
+        assert_agree(&a_cmds, &b_cmds)?;
+    }
+
+    /// Incremental append equals bulk construction, and the wire codec
+    /// round-trips the indexed representation.
+    #[test]
+    fn append_matches_from_iter_and_wire(
+        cmds in prop::collection::vec(key_cmd(), 0..16),
+    ) {
+        let bulk: CommandHistory<KeyCmd> = cmds.iter().cloned().collect();
+        let mut inc = CommandHistory::<KeyCmd>::bottom();
+        for c in &cmds {
+            inc.append(c.clone());
+        }
+        prop_assert_eq!(bulk.as_slice(), inc.as_slice());
+        let bytes = mcpaxos_actor::wire::to_bytes(&bulk);
+        let back: CommandHistory<KeyCmd> =
+            mcpaxos_actor::wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.as_slice(), bulk.as_slice());
+    }
+}

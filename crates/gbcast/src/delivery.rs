@@ -72,7 +72,7 @@ mod tests {
     use super::*;
     use mcpaxos_actor::wire::{Wire, WireError};
 
-    #[derive(Clone, Debug, PartialEq, Eq)]
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
     struct K(u8, u8);
     impl Conflict for K {
         fn conflicts(&self, other: &Self) -> bool {

@@ -21,7 +21,7 @@
 //! use mcpaxos_cstruct::{CommandHistory, Conflict};
 //! use mcpaxos_gbcast::Delivery;
 //!
-//! #[derive(Clone, Debug, PartialEq, Eq)]
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 //! struct Op(u32); // ops conflict when keys (mod 4) match
 //! impl Conflict for Op {
 //!     fn conflicts(&self, other: &Self) -> bool {

@@ -12,7 +12,7 @@ use mcpaxos_simnet::{DelayDist, NetConfig, Sim};
 use std::sync::Arc;
 
 /// A keyed operation: conflicts iff same key.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct Op {
     key: u16,
     uid: u32,

@@ -8,11 +8,11 @@
 use crate::machine::StateMachine;
 use crate::CmdId;
 use mcpaxos_actor::wire::{Wire, WireError};
-use mcpaxos_cstruct::Conflict;
+use mcpaxos_cstruct::{Conflict, ConflictKeys};
 use std::collections::BTreeMap;
 
 /// Bank operations over account numbers.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum BankOp {
     /// Adds `amount` to `account`. Deposits commute with each other.
     Deposit {
@@ -60,7 +60,7 @@ impl BankOp {
 }
 
 /// A uniquely identified bank command.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BankCmd {
     /// Unique id.
     pub id: CmdId,
@@ -84,6 +84,19 @@ impl Conflict for BankCmd {
             .iter()
             .any(|a| other.op.accounts().contains(a));
         shared && (self.op.reads_balance() || other.op.reads_balance())
+    }
+
+    /// Non-audit conflicts require a shared account, so the touched
+    /// accounts (at most two, for transfers) are the locality hint;
+    /// audits interfere with everything and declare the universal key.
+    fn conflict_keys(&self) -> ConflictKeys {
+        match self.op {
+            BankOp::Deposit { account, .. } | BankOp::Withdraw { account, .. } => {
+                ConflictKeys::one(u64::from(account))
+            }
+            BankOp::Transfer { from, to, .. } => ConflictKeys::two(u64::from(from), u64::from(to)),
+            BankOp::Audit => ConflictKeys::all(),
+        }
     }
 }
 

@@ -3,11 +3,11 @@
 use crate::machine::StateMachine;
 use crate::CmdId;
 use mcpaxos_actor::wire::{Wire, WireError};
-use mcpaxos_cstruct::Conflict;
+use mcpaxos_cstruct::{Conflict, ConflictKeys};
 use std::collections::BTreeMap;
 
 /// Key-value operations.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum KvOp {
     /// Writes `value` under `key`.
     Put(u16, u64),
@@ -33,7 +33,7 @@ impl KvOp {
 }
 
 /// A uniquely identified key-value command.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct KvCmd {
     /// Unique id (also the deduplication key).
     pub id: CmdId,
@@ -47,6 +47,12 @@ impl Conflict for KvCmd {
     /// keys.
     fn conflicts(&self, other: &Self) -> bool {
         self.op.key() == other.op.key() && (self.op.is_write() || other.op.is_write())
+    }
+
+    /// Conflicts require equal keys, so the touched key is an exact
+    /// locality hint.
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::one(u64::from(self.op.key()))
     }
 }
 

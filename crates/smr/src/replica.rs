@@ -122,7 +122,7 @@ mod tests {
                 ProcessId(a),
                 Msg::P2b {
                     round,
-                    val: hist.clone(),
+                    val: hist.clone().into(),
                 },
                 &mut ctx,
             );
