@@ -1,0 +1,4 @@
+//! Regenerates the e10_wire experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e10_wire().render_text());
+}

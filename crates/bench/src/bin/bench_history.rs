@@ -222,7 +222,7 @@ fn learner_records(records: &mut Vec<Record>) {
                     *from,
                     Msg::P2b {
                         round,
-                        val: Arc::new(val.clone()),
+                        val: Arc::new(val.clone()).into(),
                     },
                     &mut ctx,
                 );

@@ -1,0 +1,124 @@
+//! CI-facing wire/memory benchmark: delta-shipped c-structs and
+//! stable-prefix compaction vs. whole-value messages (experiment E10).
+//!
+//! Runs the 1 000-command, ~10%-conflict KV workload on the byte-metered
+//! simulator in both modes, emits `BENCH_wire.json` (a flat array of
+//! per-mode records) so every CI run leaves a comparable artifact, and
+//! prints the E10 table. With `--check`, exits non-zero unless
+//!
+//! * both runs learn all commands,
+//! * cumulative `2a`+`2b` bytes drop ≥ 10× in bounded mode,
+//! * the bounded acceptor live window is non-monotonic (truncation
+//!   actually reclaims memory) and ends well below the full history.
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_wire [--check] [--out PATH]`
+
+use mcpaxos_bench::wire_bench::{data_plane_bytes, wire_run, WireRunStats, WIRE_COMMANDS};
+use std::fmt::Write as _;
+
+fn json_record(s: &WireRunStats) -> String {
+    format!(
+        "{{\"mode\":\"{}\",\"commands\":{},\"bytes_2a\":{},\"count_2a\":{},\
+         \"bytes_2b\":{},\"count_2b\":{},\"bytes_1b\":{},\"bytes_control\":{},\
+         \"bytes_total\":{},\"learned_total\":{},\"acc_live_max\":{},\
+         \"acc_live_final\":{},\"acc_live_decreased\":{},\"watermark\":{},\
+         \"delta_sends\":{},\"full_resyncs\":{},\"truncations\":{}}}",
+        s.label,
+        s.commands,
+        s.bytes_2a,
+        s.count_2a,
+        s.bytes_2b,
+        s.count_2b,
+        s.bytes_1b,
+        s.bytes_control,
+        s.bytes_total,
+        s.learned_total,
+        s.acc_live_max,
+        s.acc_live_final,
+        s.acc_live_decreased,
+        s.watermark,
+        s.delta_sends,
+        s.full_resyncs,
+        s.truncations,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wire.json".to_string());
+
+    let full = wire_run(false, WIRE_COMMANDS);
+    let bounded = wire_run(true, WIRE_COMMANDS);
+
+    let mut json = String::from("[\n");
+    let _ = writeln!(json, "  {},", json_record(&full));
+    let _ = writeln!(json, "  {}", json_record(&bounded));
+    json.push_str("]\n");
+    std::fs::write(&out, &json).expect("write BENCH_wire.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    let ratio = data_plane_bytes(&full) as f64 / data_plane_bytes(&bounded).max(1) as f64;
+    println!(
+        "cumulative 2a+2b bytes: full = {}, bounded = {} ({ratio:.1}x reduction)",
+        data_plane_bytes(&full),
+        data_plane_bytes(&bounded)
+    );
+    println!(
+        "acceptor live window: full max/final = {}/{}, bounded max/final = {}/{} \
+         (non-monotonic: {})",
+        full.acc_live_max,
+        full.acc_live_final,
+        bounded.acc_live_max,
+        bounded.acc_live_final,
+        bounded.acc_live_decreased
+    );
+    println!(
+        "bounded overhead: control bytes = {}, deltas = {}, resyncs = {}, truncations = {}",
+        bounded.bytes_control, bounded.delta_sends, bounded.full_resyncs, bounded.truncations
+    );
+
+    if check {
+        let mut failed = Vec::new();
+        if full.learned_total != u64::from(WIRE_COMMANDS) {
+            failed.push(format!(
+                "full run learned {} < {WIRE_COMMANDS}",
+                full.learned_total
+            ));
+        }
+        if bounded.learned_total != u64::from(WIRE_COMMANDS) {
+            failed.push(format!(
+                "bounded run learned {} < {WIRE_COMMANDS}",
+                bounded.learned_total
+            ));
+        }
+        if ratio < 10.0 {
+            failed.push(format!("2a+2b byte reduction {ratio:.1}x < 10x floor"));
+        }
+        if !bounded.acc_live_decreased {
+            failed.push("bounded acceptor window never shrank (monotonic)".into());
+        }
+        if bounded.acc_live_final * 4 > WIRE_COMMANDS as usize {
+            failed.push(format!(
+                "bounded acceptor window ended at {} (> {}/4)",
+                bounded.acc_live_final, WIRE_COMMANDS
+            ));
+        }
+        if bounded.watermark == 0 {
+            failed.push("bounded watermark never advanced".into());
+        }
+        if failed.is_empty() {
+            println!("CHECK PASSED (>=10x wire reduction, bounded windows)");
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

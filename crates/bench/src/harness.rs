@@ -111,7 +111,7 @@ impl<C: CStruct> ClusterHarness<C> {
             .map(|(k, &t_inj)| {
                 history
                     .iter()
-                    .find(|(_, n)| *n >= k + 1)
+                    .find(|(_, n)| *n > k)
                     .map(|(t, _)| t.since(t_inj).ticks())
             })
             .collect()

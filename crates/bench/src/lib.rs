@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod harness;
 pub mod history_workloads;
 pub mod table;
+pub mod wire_bench;
 
 pub use harness::ClusterHarness;
 pub use table::Table;
@@ -30,5 +31,6 @@ pub fn all_experiments() -> Vec<Table> {
         experiments::e8_crossover(),
         experiments::e9_generic_broadcast(),
         experiments::a1_coordquorum_size(),
+        experiments::e10_wire(),
     ]
 }

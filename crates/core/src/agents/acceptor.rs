@@ -13,8 +13,9 @@
 //!   `Phase1b`, the baseline the E7 experiment compares against.
 
 use crate::agents::{metrics, TOK_A_RESEND};
+use crate::compact::{Compactor, Resolved};
 use crate::config::{CollisionPolicy, DeployConfig, Durability};
-use crate::msg::Msg;
+use crate::msg::{Msg, Payload};
 use crate::provedsafe::{pick, proved_safe, OneB};
 use crate::round::Round;
 use crate::schedule::RoundKind;
@@ -52,21 +53,29 @@ pub struct Acceptor<C: CStruct> {
     recovery_1b: BTreeMap<Round, BTreeMap<ProcessId, OneB<C>>>,
     /// Proposals buffered for fast appends.
     fast_buf: Vec<C::Cmd>,
+    /// Stable-prefix compaction state (watermark, pending/recent segments).
+    comp: Compactor<C>,
+    /// Per peer: the round and logical value length of the last "2b" we
+    /// shipped it — the base the next delta extends.
+    sent_2b: BTreeMap<ProcessId, (Round, u64)>,
 }
 
 impl<C: CStruct> Acceptor<C> {
     /// Creates an acceptor for the given deployment.
     pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        let comp = Compactor::new(cfg.wire.stable_keep);
         Acceptor {
             cfg,
             rnd: Round::ZERO,
             vrnd: Round::ZERO,
-            vval: C::bottom().into(),
+            vval: C::bottom(),
             persisted_major: 0,
             round_2a: BTreeMap::new(),
             round_2b: BTreeMap::new(),
             recovery_1b: BTreeMap::new(),
             fast_buf: Vec::new(),
+            comp,
+            sent_2b: BTreeMap::new(),
         }
     }
 
@@ -113,15 +122,30 @@ impl<C: CStruct> Acceptor<C> {
 
     // ----- protocol helpers ------------------------------------------------
 
+    /// Emits the `bytes_sent` metric for `n` sends of `payload`, when byte
+    /// accounting is on.
+    fn account(&self, payload: &Payload<C>, n: usize, ctx: &mut dyn Context<Msg<C>>) {
+        if self.cfg.wire.account_bytes {
+            ctx.metric(Metric::add(
+                metrics::BYTES_SENT,
+                (payload.encoded_len() * n as u64) as i64,
+            ));
+        }
+    }
+
     fn send_1b(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
         let coords = self.cfg.schedule.coordinators_of(round);
-        // One clone into the Arc; the fan-out then shares it.
+        // One clone into the Arc; the fan-out then shares it. 1b values
+        // are always shipped full: the receiving coordinator generally
+        // holds no base from us for this round.
+        let payload = Payload::full(self.vval.clone());
+        self.account(&payload, coords.len(), ctx);
         ctx.multicast(
             &coords,
             Msg::P1b {
                 round,
                 vrnd: self.vrnd,
-                vval: Arc::new(self.vval.clone()),
+                vval: payload,
             },
         );
     }
@@ -145,39 +169,160 @@ impl<C: CStruct> Acceptor<C> {
         }
     }
 
+    /// Whether "2b" messages are also gossiped to fellow acceptors
+    /// (acceptor-driven collision recovery, §4.2).
+    fn gossip_2b(&self) -> bool {
+        match self.cfg.collision {
+            CollisionPolicy::Uncoordinated => true,
+            CollisionPolicy::Coordinated => self.cfg.schedule.kind(self.vrnd) == RoundKind::Fast,
+            CollisionPolicy::NewRound => false,
+        }
+    }
+
     fn broadcast_2b(&mut self, ctx: &mut dyn Context<Msg<C>>) {
-        let msg = Msg::P2b {
-            round: self.vrnd,
-            val: Arc::new(self.vval.clone()),
-        };
         let learners = self.cfg.roles.learners().to_vec();
-        ctx.multicast(&learners, msg.clone());
         // Coordinators monitor 2b traffic for progress tracking, fast
         // collision detection and coordinated recovery (§4.2–4.3).
         let coords = self.cfg.roles.coordinators().to_vec();
-        ctx.multicast(&coords, msg.clone());
         // Fast rounds under acceptor-driven recovery (§4.2): gossip "2b"
         // to fellow acceptors so collisions are detected at the acceptors,
         // which then issue *binding* "1b" promises for the successor
         // round. (Converting 2b snapshots into 1b evidence at a
         // coordinator is unsound for generalized rounds, which accept
         // incrementally — a snapshot is not the sender's final word.)
-        let gossip = match self.cfg.collision {
-            CollisionPolicy::Uncoordinated => true,
-            CollisionPolicy::Coordinated => self.cfg.schedule.kind(self.vrnd) == RoundKind::Fast,
-            CollisionPolicy::NewRound => false,
-        };
-        if gossip {
-            let me = ctx.me();
-            let peers: Vec<ProcessId> = self
-                .cfg
+        let me = ctx.me();
+        let peers: Vec<ProcessId> = if self.gossip_2b() {
+            self.cfg
                 .roles
                 .acceptors()
                 .iter()
                 .copied()
                 .filter(|&a| a != me)
-                .collect();
-            ctx.multicast(&peers, msg);
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !self.cfg.wire.delta_ship {
+            let payload = Payload::full(self.vval.clone());
+            self.account(&payload, learners.len() + coords.len() + peers.len(), ctx);
+            let msg = Msg::P2b {
+                round: self.vrnd,
+                val: payload,
+            };
+            ctx.multicast(&learners, msg.clone());
+            ctx.multicast(&coords, msg.clone());
+            if !peers.is_empty() {
+                ctx.multicast(&peers, msg);
+            }
+            return;
+        }
+        // Delta shipping: per peer, extend the base we last shipped it in
+        // this round; fall back to the full value on a new round or an
+        // unproducible suffix. Lost messages surface as `NeedFull` nacks,
+        // which reset the peer's base.
+        let round = self.vrnd;
+        let total = self.vval.total_len();
+        let mut full: Option<Arc<C>> = None;
+        for &t in learners.iter().chain(&coords).chain(&peers) {
+            let base = match self.sent_2b.get(&t) {
+                Some(&(r, len)) if r == round && len <= total => Some(len),
+                _ => None,
+            };
+            let payload = match base.and_then(|len| Some((len, self.vval.suffix_from(len)?))) {
+                Some((base_len, suffix)) => {
+                    ctx.metric(Metric::incr(metrics::DELTA_SENDS));
+                    Payload::Delta { base_len, suffix }
+                }
+                None => {
+                    let arc = full
+                        .get_or_insert_with(|| Arc::new(self.vval.clone()))
+                        .clone();
+                    Payload::Full(arc)
+                }
+            };
+            self.account(&payload, 1, ctx);
+            self.sent_2b.insert(t, (round, total));
+            ctx.send(
+                t,
+                Msg::P2b {
+                    round,
+                    val: payload,
+                },
+            );
+        }
+    }
+
+    /// Applies every pending stable segment `vval` covers, truncating the
+    /// live window and bringing all per-round bookkeeping to the new
+    /// watermark (entries that cannot follow are dropped — they will be
+    /// re-established by their senders' next messages).
+    fn apply_compaction(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if self.cfg.wire.compact_every == 0 {
+            return;
+        }
+        let fast_buf = &mut self.fast_buf;
+        let applied = self.comp.advance(&mut self.vval, |seg| {
+            fast_buf.retain(|c| !seg.contains(c));
+        });
+        if applied == 0 {
+            return;
+        }
+        ctx.metric(Metric::add(metrics::TRUNCATIONS, applied as i64));
+        let comp = &self.comp;
+        for m in self.round_2a.values_mut() {
+            m.retain(|_, v| comp.normalize_arc(v));
+        }
+        for m in self.round_2b.values_mut() {
+            m.retain(|_, v| comp.normalize_arc(v));
+        }
+        for m in self.recovery_1b.values_mut() {
+            m.retain(|_, r| comp.normalize_arc(&mut r.vval));
+        }
+        // Re-persist the compacted vote: recovery then resumes at the new
+        // watermark instead of replaying the truncated prefix.
+        self.persist_vote(ctx);
+    }
+
+    /// Resolves an ingested c-struct payload against `base`, retrying once
+    /// after advancing compaction when watermarks disagree. `None` means
+    /// the message must be dropped; `Some(Err(()))` (gap) means the sender
+    /// should be asked for a full value.
+    #[allow(clippy::type_complexity)]
+    fn ingest(
+        &mut self,
+        from: ProcessId,
+        payload: Payload<C>,
+        base: impl Fn(&Self) -> Option<Arc<C>>,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) -> Option<Result<(Arc<C>, bool), ()>> {
+        let b = base(self);
+        match self.comp.resolve(payload, b.as_ref()) {
+            Resolved::Value(v, changed) => Some(Ok((v, changed))),
+            Resolved::Gap => Some(Err(())),
+            Resolved::Unaligned(payload) => {
+                // Maybe a pending segment unlocks the mismatch.
+                self.apply_compaction(ctx);
+                let b = base(self);
+                match self.comp.resolve(payload, b.as_ref()) {
+                    Resolved::Value(v, changed) => Some(Ok((v, changed))),
+                    Resolved::Gap => Some(Err(())),
+                    Resolved::Unaligned(p) => {
+                        // Still behind the sender: ask for the missing
+                        // stable segments.
+                        if p.as_full()
+                            .is_some_and(|v| v.watermark() > self.comp.watermark())
+                        {
+                            ctx.send(
+                                from,
+                                Msg::NeedStable {
+                                    from: self.comp.watermark(),
+                                },
+                            );
+                        }
+                        None
+                    }
+                }
+            }
         }
     }
 
@@ -290,6 +435,11 @@ impl<C: CStruct> Acceptor<C> {
     /// `Phase2bFast` (§3.2): extend the accepted value directly with a
     /// proposal, without coordinator involvement.
     fn try_accept_fast(&mut self, cmd: C::Cmd, ctx: &mut dyn Context<Msg<C>>) {
+        // Re-proposals of stabilized commands must not re-enter the live
+        // window (their membership entries were truncated away).
+        if self.cfg.wire.compact_every > 0 && self.comp.contains_recent(&cmd) {
+            return;
+        }
         if self.cfg.schedule.kind(self.rnd) != RoundKind::Fast || self.vrnd != self.rnd {
             // Round not fast or not yet primed by Phase2Start: buffer.
             if !self.fast_buf.contains(&cmd) && !self.vval.contains(&cmd) {
@@ -381,12 +531,14 @@ impl<C: CStruct> Acceptor<C> {
             .copied()
             .filter(|&a| a != me)
             .collect();
+        let payload: Payload<C> = shared.into();
+        self.account(&payload, peers.len(), ctx);
         ctx.multicast(
             &peers,
             Msg::P1b {
                 round: next,
                 vrnd: self.vrnd,
-                vval: shared,
+                vval: payload,
             },
         );
         self.try_complete_recovery(next, ctx);
@@ -444,6 +596,10 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 from_bytes(bytes).expect("corrupt vote in stable storage");
             self.vrnd = vrnd;
             self.vval = vval;
+            // The persisted vote carries its watermark; resume compaction
+            // there (the normalization window refills from fresh Stable
+            // segments).
+            self.comp.resume(self.vval.watermark());
         }
         match self.cfg.durability {
             Durability::Reduced => {
@@ -486,6 +642,19 @@ impl<C: CStruct> Actor for Acceptor<C> {
                     self.nack(from, ctx);
                     return;
                 }
+                let val = match self.ingest(
+                    from,
+                    val,
+                    move |a| a.round_2a.get(&round).and_then(|m| m.get(&from)).cloned(),
+                    ctx,
+                ) {
+                    Some(Ok((v, _))) => v,
+                    Some(Err(())) => {
+                        ctx.send(from, Msg::NeedFull { round });
+                        return;
+                    }
+                    None => return,
+                };
                 let entry = self.round_2a.entry(round).or_default();
                 entry.insert(from, val.clone());
                 // §4.2 collision detection: incompatible suggestions from
@@ -503,38 +672,98 @@ impl<C: CStruct> Actor for Acceptor<C> {
             Msg::Propose { cmd, .. } => {
                 self.try_accept_fast(cmd, ctx);
             }
-            Msg::P2b { round, val } => {
-                // Gossip from fellow acceptors: collision detection for
-                // acceptor-driven recovery.
-                if self.cfg.collision != CollisionPolicy::NewRound {
-                    self.round_2b.entry(round).or_default().insert(from, val);
-                    // Include our own vote in the picture.
-                    if self.vrnd == round {
-                        let me = ctx.me();
-                        let own = Arc::new(self.vval.clone());
-                        self.round_2b.entry(round).or_default().insert(me, own);
+            // Gossip from fellow acceptors: collision detection for
+            // acceptor-driven recovery.
+            Msg::P2b { round, val } if self.cfg.collision != CollisionPolicy::NewRound => {
+                let val = match self.ingest(
+                    from,
+                    val,
+                    move |a| a.round_2b.get(&round).and_then(|m| m.get(&from)).cloned(),
+                    ctx,
+                ) {
+                    Some(Ok((v, _))) => v,
+                    Some(Err(())) => {
+                        ctx.send(from, Msg::NeedFull { round });
+                        return;
                     }
-                    self.prune();
-                    self.detect_fast_collision(round, ctx);
+                    None => return,
+                };
+                self.round_2b.entry(round).or_default().insert(from, val);
+                // Include our own vote in the picture.
+                if self.vrnd == round {
+                    let me = ctx.me();
+                    let own = Arc::new(self.vval.clone());
+                    self.round_2b.entry(round).or_default().insert(me, own);
+                }
+                self.prune();
+                self.detect_fast_collision(round, ctx);
+            }
+            // A fellow acceptor's binding recovery report (only sent
+            // under uncoordinated recovery).
+            Msg::P1b { round, vrnd, vval }
+                if self.cfg.collision == CollisionPolicy::Uncoordinated
+                    && self.cfg.schedule.kind(round) == RoundKind::Fast =>
+            {
+                // Recovery reports are always shipped full; anything
+                // unresolvable is dropped (the exchange retries).
+                let vval = match self.ingest(from, vval, |_| None, ctx) {
+                    Some(Ok((v, _))) => v,
+                    _ => return,
+                };
+                self.recovery_1b
+                    .entry(round)
+                    .or_default()
+                    .insert(from, OneB { from, vrnd, vval });
+                if round > self.rnd {
+                    // Late to the party: promise and report too.
+                    self.join_recovery(round, ctx);
+                } else {
+                    self.try_complete_recovery(round, ctx);
+                }
+                self.prune();
+            }
+            Msg::NeedFull { round } => {
+                // A receiver could not apply one of our deltas: reset its
+                // base and re-ship the full current value.
+                if round == self.vrnd {
+                    ctx.metric(Metric::incr(metrics::FULL_RESYNCS));
+                    let payload = Payload::full(self.vval.clone());
+                    self.account(&payload, 1, ctx);
+                    self.sent_2b
+                        .insert(from, (self.vrnd, self.vval.total_len()));
+                    ctx.send(
+                        from,
+                        Msg::P2b {
+                            round: self.vrnd,
+                            val: payload,
+                        },
+                    );
+                } else {
+                    self.sent_2b.remove(&from);
                 }
             }
-            Msg::P1b { round, vrnd, vval } => {
-                // A fellow acceptor's binding recovery report (only sent
-                // under uncoordinated recovery).
-                if self.cfg.collision == CollisionPolicy::Uncoordinated
-                    && self.cfg.schedule.kind(round) == RoundKind::Fast
-                {
-                    self.recovery_1b
-                        .entry(round)
-                        .or_default()
-                        .insert(from, OneB { from, vrnd, vval });
-                    if round > self.rnd {
-                        // Late to the party: promise and report too.
-                        self.join_recovery(round, ctx);
-                    } else {
-                        self.try_complete_recovery(round, ctx);
-                    }
-                    self.prune();
+            Msg::Stable {
+                from: seg_from,
+                cmds,
+            } if self.cfg.wire.compact_every > 0 => {
+                self.comp.offer(seg_from, cmds);
+                self.apply_compaction(ctx);
+                // Still short of the announced frontier after applying,
+                // with nothing buffered at our watermark: a segment
+                // between us and `seg_from` was missed — request the gap
+                // from the designated learner.
+                if seg_from > self.comp.watermark() && self.comp.gap_at_watermark() {
+                    ctx.send(
+                        from,
+                        Msg::NeedStable {
+                            from: self.comp.watermark(),
+                        },
+                    );
+                }
+            }
+            Msg::NeedStable { from: want } => {
+                for (f, seg) in self.comp.recent_from(want) {
+                    ctx.send(from, Msg::Stable { from: f, cmds: seg });
                 }
             }
             _ => {}

@@ -15,8 +15,9 @@
 //! while keeping `Phase2Start` once-per-round.
 
 use crate::agents::{metrics, TOK_TICK};
+use crate::compact::{Compactor, Resolved};
 use crate::config::{CollisionPolicy, DeployConfig};
-use crate::msg::Msg;
+use crate::msg::{Msg, Payload};
 use crate::provedsafe::{pick, proved_safe, OneB};
 use crate::round::Round;
 use crate::schedule::RoundKind;
@@ -59,6 +60,11 @@ pub struct Coordinator<C: CStruct> {
     alive: BTreeMap<ProcessId, SimTime>,
     max_heard: Round,
     last_progress: SimTime,
+    /// Stable-prefix compaction state.
+    comp: Compactor<C>,
+    /// Per acceptor: the round and logical value length of the last "2a"
+    /// we shipped it — the base the next delta extends.
+    sent_2a: BTreeMap<ProcessId, (Round, u64)>,
 }
 
 impl<C: CStruct> Coordinator<C> {
@@ -74,6 +80,7 @@ impl<C: CStruct> Coordinator<C> {
             .iter()
             .position(|&c| c == me)
             .expect("process is not a coordinator in this deployment") as u16;
+        let comp = Compactor::new(cfg.wire.stable_keep);
         Coordinator {
             cfg,
             me,
@@ -91,6 +98,8 @@ impl<C: CStruct> Coordinator<C> {
             alive: BTreeMap::new(),
             max_heard: Round::ZERO,
             last_progress: SimTime::ZERO,
+            comp,
+            sent_2a: BTreeMap::new(),
         }
     }
 
@@ -148,6 +157,136 @@ impl<C: CStruct> Coordinator<C> {
         }
     }
 
+    /// Emits the `bytes_sent` metric for `n` sends of `payload`, when byte
+    /// accounting is on.
+    fn account(&self, payload: &Payload<C>, n: usize, ctx: &mut dyn Context<Msg<C>>) {
+        if self.cfg.wire.account_bytes {
+            ctx.metric(Metric::add(
+                metrics::BYTES_SENT,
+                (payload.encoded_len() * n as u64) as i64,
+            ));
+        }
+    }
+
+    /// Ships `val` as the round's "2a" to `targets`: full values by
+    /// default, per-peer suffix deltas against each peer's acked base
+    /// under `WireConfig::delta_ship` (gaps surface as `NeedFull`).
+    fn send_2a(
+        &mut self,
+        targets: &[ProcessId],
+        round: Round,
+        val: &C,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) {
+        let total = val.total_len();
+        if !self.cfg.wire.delta_ship {
+            let payload = Payload::full(val.clone());
+            self.account(&payload, targets.len(), ctx);
+            ctx.multicast(
+                targets,
+                Msg::P2a {
+                    round,
+                    val: payload,
+                },
+            );
+            return;
+        }
+        let mut full: Option<Arc<C>> = None;
+        for &t in targets {
+            let base = match self.sent_2a.get(&t) {
+                Some(&(r, len)) if r == round && len <= total => Some(len),
+                _ => None,
+            };
+            let payload = match base.and_then(|len| Some((len, val.suffix_from(len)?))) {
+                Some((base_len, suffix)) => {
+                    ctx.metric(Metric::incr(metrics::DELTA_SENDS));
+                    Payload::Delta { base_len, suffix }
+                }
+                None => {
+                    let arc = full.get_or_insert_with(|| Arc::new(val.clone())).clone();
+                    Payload::Full(arc)
+                }
+            };
+            self.account(&payload, 1, ctx);
+            self.sent_2a.insert(t, (round, total));
+            ctx.send(
+                t,
+                Msg::P2a {
+                    round,
+                    val: payload,
+                },
+            );
+        }
+    }
+
+    /// Applies pending stable segments: `cval` (when held) is truncated,
+    /// stored 1b/2b bookkeeping follows the new watermark, and proposals
+    /// now below the watermark stop arming the stall detector.
+    fn apply_compaction(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if self.cfg.wire.compact_every == 0 {
+            return;
+        }
+        let mut pruned: Vec<C::Cmd> = Vec::new();
+        let applied = match self.cval.as_mut() {
+            Some(v) => self.comp.advance(v, |seg| pruned.extend_from_slice(seg)),
+            None => self.comp.advance_free(|seg| pruned.extend_from_slice(seg)),
+        };
+        if applied == 0 {
+            return;
+        }
+        ctx.metric(Metric::add(metrics::TRUNCATIONS, applied as i64));
+        self.outstanding.retain(|c| !pruned.contains(c));
+        self.backlog.retain(|c| !pruned.contains(c));
+        let comp = &self.comp;
+        for m in self.round_1b.values_mut() {
+            m.retain(|_, r| comp.normalize_arc(&mut r.vval));
+        }
+        for m in self.round_2b.values_mut() {
+            m.retain(|_, v| comp.normalize_arc(v));
+        }
+    }
+
+    /// Resolves an ingested c-struct payload against `base`, retrying once
+    /// after advancing compaction on watermark mismatch. `None` = drop,
+    /// `Some(Err(()))` = delta gap (ask the sender for a full value).
+    #[allow(clippy::type_complexity)]
+    fn ingest(
+        &mut self,
+        from: ProcessId,
+        payload: Payload<C>,
+        base: impl Fn(&Self) -> Option<Arc<C>>,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) -> Option<Result<(Arc<C>, bool), ()>> {
+        let b = base(self);
+        match self.comp.resolve(payload, b.as_ref()) {
+            Resolved::Value(v, changed) => Some(Ok((v, changed))),
+            Resolved::Gap => Some(Err(())),
+            Resolved::Unaligned(payload) => {
+                self.apply_compaction(ctx);
+                let b = base(self);
+                match self.comp.resolve(payload, b.as_ref()) {
+                    Resolved::Value(v, changed) => Some(Ok((v, changed))),
+                    Resolved::Gap => Some(Err(())),
+                    Resolved::Unaligned(p) => {
+                        // Still behind the sender: ask for the missing
+                        // stable segments.
+                        if p.as_full()
+                            .is_some_and(|v| v.watermark() > self.comp.watermark())
+                        {
+                            ctx.send(
+                                from,
+                                Msg::NeedStable {
+                                    from: self.comp.watermark(),
+                                },
+                            );
+                        }
+                        None
+                    }
+                }
+            }
+        }
+    }
+
     fn prune(&mut self) {
         while self.round_1b.len() > ROUND_WINDOW {
             let lowest = *self.round_1b.keys().next().expect("non-empty");
@@ -185,6 +324,9 @@ impl<C: CStruct> Coordinator<C> {
     /// arrived and we may still engage in it, pick a safe value and send
     /// the first "2a".
     fn try_phase2start(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+        // Segments held back while no (or a stale) cval was around apply
+        // now, so the picked value and the bookkeeping share a watermark.
+        self.apply_compaction(ctx);
         let enabled = (self.crnd == round && self.cval.is_none())
             || (round > self.crnd && round > self.floor);
         if !enabled || !self.cfg.schedule.is_coordinator_of(self.me, round) {
@@ -208,18 +350,12 @@ impl<C: CStruct> Coordinator<C> {
         }
         self.persist_floor(round, ctx);
         self.crnd = round;
-        self.cval = Some(val.clone());
         self.note_heard(round);
         self.last_progress = ctx.now();
         ctx.metric(Metric::incr(metrics::PHASE2_STARTS));
         let acceptors = self.cfg.roles.acceptors().to_vec();
-        ctx.multicast(
-            &acceptors,
-            Msg::P2a {
-                round,
-                val: Arc::new(val),
-            },
-        );
+        self.send_2a(&acceptors, round, &val, ctx);
+        self.cval = Some(val);
     }
 
     /// `Phase2aClassic`: extend the current value with a proposal and
@@ -230,23 +366,17 @@ impl<C: CStruct> Coordinator<C> {
         acc_quorum: Option<Vec<ProcessId>>,
         ctx: &mut dyn Context<Msg<C>>,
     ) {
-        let val = match &mut self.cval {
-            Some(v) => {
-                v.append(cmd);
-                // One clone into the Arc; the fan-out below shares it.
-                Arc::new(v.clone())
-            }
+        let mut val = match self.cval.take() {
+            Some(v) => v,
             None => return,
         };
+        val.append(cmd);
         ctx.metric(Metric::incr(metrics::PHASE2A));
         let targets = acc_quorum.unwrap_or_else(|| self.cfg.roles.acceptors().to_vec());
-        ctx.multicast(
-            &targets,
-            Msg::P2a {
-                round: self.crnd,
-                val,
-            },
-        );
+        // Under delta shipping each peer receives just the new suffix; the
+        // full-value path clones once into an Arc the fan-out shares.
+        self.send_2a(&targets, self.crnd, &val, ctx);
+        self.cval = Some(val);
     }
 
     /// Observes "2b" traffic: progress tracking plus fast-collision
@@ -399,6 +529,12 @@ impl<C: CStruct> Actor for Coordinator<C> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
         match msg {
             Msg::Propose { cmd, acc_quorum } => {
+                // A retransmission of an already-stabilized command (its
+                // Learned notification was lost) must not re-enter the
+                // protocol: its membership entry is below the watermark.
+                if self.cfg.wire.compact_every > 0 && self.comp.contains_recent(&cmd) {
+                    return;
+                }
                 if !self.outstanding.contains(&cmd) {
                     if self.outstanding.is_empty() {
                         self.last_progress = ctx.now();
@@ -415,6 +551,12 @@ impl<C: CStruct> Actor for Coordinator<C> {
             }
             Msg::P1b { round, vrnd, vval } => {
                 self.note_heard(round);
+                // 1b values are shipped full; normalize to our watermark
+                // (or drop until compaction catches up).
+                let vval = match self.ingest(from, vval, |_| None, ctx) {
+                    Some(Ok((v, _))) => v,
+                    _ => return,
+                };
                 // An unsolicited "1b" for a single-coordinated round we
                 // coordinate is collision-recovery evidence (§4.2): note
                 // the collision for the round-type backoff, and echo the
@@ -443,7 +585,66 @@ impl<C: CStruct> Actor for Coordinator<C> {
             }
             Msg::P2b { round, val } => {
                 self.note_heard(round);
+                let val = match self.ingest(
+                    from,
+                    val,
+                    move |c| c.round_2b.get(&round).and_then(|m| m.get(&from)).cloned(),
+                    ctx,
+                ) {
+                    Some(Ok((v, _))) => v,
+                    Some(Err(())) => {
+                        ctx.send(from, Msg::NeedFull { round });
+                        return;
+                    }
+                    None => return,
+                };
                 self.observe_2b(from, round, val, ctx);
+            }
+            Msg::NeedFull { round } => {
+                // An acceptor lost the base of our deltas: re-ship the
+                // full current value.
+                if round == self.crnd {
+                    if let Some(val) = self.cval.take() {
+                        ctx.metric(Metric::incr(metrics::FULL_RESYNCS));
+                        let payload = Payload::full(val.clone());
+                        self.account(&payload, 1, ctx);
+                        self.sent_2a.insert(from, (round, val.total_len()));
+                        ctx.send(
+                            from,
+                            Msg::P2a {
+                                round,
+                                val: payload,
+                            },
+                        );
+                        self.cval = Some(val);
+                    }
+                } else {
+                    self.sent_2a.remove(&from);
+                }
+            }
+            Msg::Stable {
+                from: seg_from,
+                cmds,
+            } if self.cfg.wire.compact_every > 0 => {
+                self.comp.offer(seg_from, cmds);
+                self.apply_compaction(ctx);
+                // Still short of the announced frontier after applying,
+                // with nothing buffered at our watermark: a segment
+                // between us and `seg_from` was missed — request the gap
+                // from the designated learner.
+                if seg_from > self.comp.watermark() && self.comp.gap_at_watermark() {
+                    ctx.send(
+                        from,
+                        Msg::NeedStable {
+                            from: self.comp.watermark(),
+                        },
+                    );
+                }
+            }
+            Msg::NeedStable { from: want } => {
+                for (f, seg) in self.comp.recent_from(want) {
+                    ctx.send(from, Msg::Stable { from: f, cmds: seg });
+                }
             }
             Msg::RoundTooLow { heard } => {
                 self.note_heard(heard);
@@ -595,7 +796,7 @@ mod tests {
             .sent
             .iter()
             .filter_map(|(_, m)| match m {
-                Msg::P2a { val, .. } => Some(val.as_ref()),
+                Msg::P2a { val, .. } => val.as_full().map(|v| v.as_ref()),
                 _ => None,
             })
             .collect();

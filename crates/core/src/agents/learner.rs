@@ -19,14 +19,15 @@
 //! clones on every message; `tests/learner_diff.rs` pins the two against
 //! each other.
 
-use crate::agents::metrics;
+use crate::agents::{metrics, TOK_STABLE_GOSSIP};
+use crate::compact::{Compactor, Resolved};
 use crate::config::DeployConfig;
 use crate::msg::Msg;
 use crate::quorum::{combination_count, for_each_combination};
 use crate::round::Round;
 use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
 use mcpaxos_cstruct::{glb_all_ref, CStruct};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 /// Rounds kept live for quorum completion; older rounds are pruned.
@@ -60,23 +61,58 @@ pub struct Learner<C: CStruct> {
     rounds: BTreeMap<Round, RoundState<C>>,
     notified: HashSet<C::Cmd>,
     history: Vec<(SimTime, usize)>,
+    /// Stable-prefix compaction state.
+    comp: Compactor<C>,
+    /// Designated-learner bookkeeping: the stable segment currently
+    /// proposed to the other learners, and the acks received for it.
+    my_prop: Option<(u64, Vec<C::Cmd>)>,
+    prop_acks: BTreeSet<ProcessId>,
+    /// Segments proposed *to* us, awaiting containment in `learned`
+    /// before we ack: segment start → (proposer, commands).
+    #[allow(clippy::type_complexity)]
+    pending_props: BTreeMap<u64, (ProcessId, Vec<C::Cmd>)>,
+    /// Segments we (as designated learner) have finalized, kept for
+    /// periodic re-gossip: a `Stable` lost to one agent would otherwise
+    /// strand it behind the watermark forever.
+    sent_segs: std::collections::VecDeque<(u64, Vec<C::Cmd>)>,
 }
 
 impl<C: CStruct> Learner<C> {
     /// Creates a learner for the given deployment.
     pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        let comp = Compactor::new(cfg.wire.stable_keep);
         Learner {
             cfg,
             learned: C::bottom(),
             rounds: BTreeMap::new(),
             notified: HashSet::new(),
             history: Vec::new(),
+            comp,
+            my_prop: None,
+            prop_acks: BTreeSet::new(),
+            pending_props: BTreeMap::new(),
+            sent_segs: std::collections::VecDeque::new(),
         }
     }
 
     /// The c-struct learned so far.
     pub fn learned(&self) -> &C {
         &self.learned
+    }
+
+    /// The stable watermark this learner has truncated below.
+    pub fn watermark(&self) -> u64 {
+        self.comp.watermark()
+    }
+
+    /// Resumes a restarted learner at a checkpoint `watermark`: the
+    /// history below it no longer exists in the deployment, so `learned`
+    /// restarts as the empty extension of that stable prefix and catches
+    /// up through [`crate::Msg::Stable`] segments (requested via
+    /// [`crate::Msg::NeedStable`]) and live `2b` traffic.
+    pub fn resume_at(&mut self, watermark: u64) {
+        self.learned = C::bottom_at(watermark);
+        self.comp.resume(watermark);
     }
 
     /// `(time, learned-command-count)` pairs recorded whenever the learned
@@ -138,7 +174,7 @@ impl<C: CStruct> Learner<C> {
             grew |= Self::absorb(learned, &g, round);
         }
         if grew {
-            let count = self.learned.count();
+            let count = self.learned.total_len() as usize;
             self.history.push((ctx.now(), count));
             ctx.metric(Metric::add(metrics::LEARNED, count as i64));
             if self.cfg.notify_learned {
@@ -154,6 +190,8 @@ impl<C: CStruct> Learner<C> {
                     ctx.multicast(&proposers, Msg::Learned { cmds: new });
                 }
             }
+            self.try_ack_pending(ctx);
+            self.maybe_propose(ctx);
         }
     }
 
@@ -163,30 +201,302 @@ impl<C: CStruct> Learner<C> {
             self.rounds.remove(&lowest);
         }
     }
+
+    // ----- stable-watermark gossip (compaction) ---------------------------
+
+    /// Applies pending stable segments to `learned` and brings the
+    /// per-round bookkeeping to the new watermark. Runs at the *start* of
+    /// every upcall, so a host that drains newly learned commands after
+    /// each message (a replica's delivery cursor) always observes a
+    /// segment in the live window before it is truncated.
+    fn compact_tick(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if self.cfg.wire.compact_every == 0 {
+            return;
+        }
+        // Checkpoint-restored catch-up: an empty-at-watermark learner
+        // adopts the next quorum-finalized segment as learned, and leaves
+        // it in the live window for this upcall so a replica host can
+        // drain it; the truncation then happens on a later tick.
+        if self.comp.adopt_into(&mut self.learned) {
+            return;
+        }
+        let notified = &mut self.notified;
+        let applied = self.comp.advance(&mut self.learned, |seg| {
+            for c in seg {
+                notified.remove(c);
+            }
+        });
+        if applied == 0 {
+            return;
+        }
+        ctx.metric(Metric::add(metrics::TRUNCATIONS, applied as i64));
+        let comp = &self.comp;
+        for st in self.rounds.values_mut() {
+            st.reports.retain(|_, v| comp.normalize_arc(v));
+            st.glbs.retain(|_, g| comp.normalize(g));
+        }
+        let w = self.comp.watermark();
+        self.pending_props.retain(|&s, _| s >= w);
+    }
+
+    /// Designated-learner duty: once `compact_every` commands sit above
+    /// the watermark, propose the next stable segment to the other
+    /// learners (a single-learner deployment self-acks immediately).
+    fn maybe_propose(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        let every = self.cfg.wire.compact_every;
+        if every == 0 || self.my_prop.is_some() {
+            return;
+        }
+        let me = ctx.me();
+        if self.cfg.roles.learners().first() != Some(&me) {
+            return;
+        }
+        let w = self.comp.watermark();
+        if self.learned.total_len().saturating_sub(w) < every {
+            return;
+        }
+        let seg = match self.learned.stable_segment(w, every as usize) {
+            Some(s) => s,
+            None => return, // c-struct without a stable representation
+        };
+        self.my_prop = Some((w, seg.clone()));
+        self.prop_acks.clear();
+        self.prop_acks.insert(me);
+        if self.prop_acks.len() >= self.cfg.learner_quorum() {
+            self.finalize_stable(ctx);
+        } else {
+            let peers: Vec<ProcessId> = self
+                .cfg
+                .roles
+                .learners()
+                .iter()
+                .copied()
+                .filter(|&l| l != me)
+                .collect();
+            ctx.multicast(&peers, Msg::StableProposal { from: w, cmds: seg });
+        }
+    }
+
+    /// A learner quorum has learned the proposed segment: broadcast the
+    /// watermark to every agent and schedule our own truncation.
+    fn finalize_stable(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        let (w, seg) = match self.my_prop.take() {
+            Some(p) => p,
+            None => return,
+        };
+        self.prop_acks.clear();
+        let me = ctx.me();
+        let targets: Vec<ProcessId> = self
+            .cfg
+            .roles
+            .acceptors()
+            .iter()
+            .chain(self.cfg.roles.coordinators())
+            .chain(self.cfg.roles.learners())
+            .copied()
+            .filter(|&p| p != me)
+            .collect();
+        ctx.multicast(
+            &targets,
+            Msg::Stable {
+                from: w,
+                cmds: seg.clone(),
+            },
+        );
+        self.sent_segs.push_back((w, seg.clone()));
+        while self.sent_segs.len() > self.cfg.wire.stable_keep {
+            self.sent_segs.pop_front();
+        }
+        // Our own truncation applies at the next upcall (compact_tick).
+        self.comp.offer(w, seg);
+    }
+
+    /// Re-gossips recent stable segments and the outstanding proposal:
+    /// one lost `Stable` or `StableProposal` must not strand an agent
+    /// behind the watermark (fair-lossy links).
+    fn regossip_stable(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        let me = ctx.me();
+        let targets: Vec<ProcessId> = self
+            .cfg
+            .roles
+            .acceptors()
+            .iter()
+            .chain(self.cfg.roles.coordinators())
+            .chain(self.cfg.roles.learners())
+            .copied()
+            .filter(|&p| p != me)
+            .collect();
+        // Only the newest segment rides the timer: an agent further
+        // behind discovers it through the ahead-watermark traffic and
+        // requests the gap explicitly (`NeedStable`), so steady-state
+        // control traffic stays O(segment) per tick, not O(window).
+        if let Some((w, seg)) = self.sent_segs.back() {
+            ctx.multicast(
+                &targets,
+                Msg::Stable {
+                    from: *w,
+                    cmds: seg.clone(),
+                },
+            );
+        }
+        if let Some((w, seg)) = &self.my_prop {
+            let learners: Vec<ProcessId> = self
+                .cfg
+                .roles
+                .learners()
+                .iter()
+                .copied()
+                .filter(|&l| l != me)
+                .collect();
+            ctx.multicast(
+                &learners,
+                Msg::StableProposal {
+                    from: *w,
+                    cmds: seg.clone(),
+                },
+            );
+        }
+    }
+
+    fn arm_stable_gossip(&self, ctx: &mut dyn Context<Msg<C>>) {
+        let every = self.cfg.timing.acceptor_resend;
+        if self.cfg.wire.compact_every > 0
+            && every.ticks() > 0
+            && self.cfg.roles.learners().first() == Some(&ctx.me())
+        {
+            ctx.set_timer(every, TOK_STABLE_GOSSIP);
+        }
+    }
+
+    /// Acks every pending proposal whose segment `learned` now contains.
+    fn try_ack_pending(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if self.pending_props.is_empty() {
+            return;
+        }
+        let w = self.comp.watermark();
+        let mut done: Vec<u64> = Vec::new();
+        for (&s, (proposer, cmds)) in &self.pending_props {
+            if s < w {
+                done.push(s); // already truncated past it
+            } else if cmds.iter().all(|c| self.learned.contains(c)) {
+                ctx.send(*proposer, Msg::StableAck { upto: s });
+                done.push(s);
+            }
+        }
+        for s in done {
+            self.pending_props.remove(&s);
+        }
+    }
 }
 
 impl<C: CStruct> Actor for Learner<C> {
     type Msg = Msg<C>;
 
+    fn on_start(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        self.arm_stable_gossip(ctx);
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
-        if let Msg::P2b { round, val } = msg {
-            let st = self.rounds.entry(round).or_default();
-            // A re-delivered identical report cannot move any glb: skip
-            // the subset sweep entirely (duplication is common under the
-            // lossy network model and on retransmission timers).
-            let changed = match st.reports.get(&from) {
-                Some(prev) => **prev != *val,
-                None => true,
-            };
-            st.reports.insert(from, val);
-            self.prune();
-            if changed {
-                self.try_learn(round, from, ctx);
+        self.compact_tick(ctx);
+        match msg {
+            Msg::P2b { round, val } => {
+                let base = self
+                    .rounds
+                    .get(&round)
+                    .and_then(|st| st.reports.get(&from))
+                    .cloned();
+                // Resolve full or delta payloads against the acceptor's
+                // last report; the `changed` flag subsumes the old
+                // duplicate-delivery fast path (an identical re-delivery
+                // cannot move any glb, so the subset sweep is skipped).
+                let (val, changed) = match self.comp.resolve(val, base.as_ref()) {
+                    Resolved::Value(v, c) => (v, c),
+                    Resolved::Gap => {
+                        ctx.send(from, Msg::NeedFull { round });
+                        return;
+                    }
+                    Resolved::Unaligned(p) => {
+                        // Behind the sender's watermark: request the
+                        // missing stable segments.
+                        if p.as_full()
+                            .is_some_and(|v| v.watermark() > self.comp.watermark())
+                        {
+                            ctx.send(
+                                from,
+                                Msg::NeedStable {
+                                    from: self.comp.watermark(),
+                                },
+                            );
+                        }
+                        return;
+                    }
+                };
+                let st = self.rounds.entry(round).or_default();
+                st.reports.insert(from, val);
+                self.prune();
+                if changed {
+                    self.try_learn(round, from, ctx);
+                }
             }
+            Msg::StableProposal { from: s, cmds }
+                if self.cfg.wire.compact_every > 0 && s >= self.comp.watermark() =>
+            {
+                self.pending_props.insert(s, (from, cmds));
+                while self.pending_props.len() > 2 * self.cfg.wire.stable_keep {
+                    let last = *self.pending_props.keys().next_back().expect("non-empty");
+                    self.pending_props.remove(&last);
+                }
+                self.try_ack_pending(ctx);
+            }
+            Msg::StableAck { upto } => {
+                if matches!(&self.my_prop, Some((w, _)) if *w == upto) {
+                    self.prop_acks.insert(from);
+                    if self.prop_acks.len() >= self.cfg.learner_quorum() {
+                        self.finalize_stable(ctx);
+                    }
+                }
+            }
+            Msg::Stable { from: s, cmds } if self.cfg.wire.compact_every > 0 => {
+                // A crash-recovered learner that has learned nothing yet
+                // fast-forwards to the announced frontier: the segments
+                // below it may no longer be retained anywhere, and an
+                // empty learner loses nothing by re-anchoring. (A replica
+                // host without a checkpoint fails loudly at its delivery
+                // cursor instead of diverging silently.)
+                if self.comp.watermark() == 0 && self.learned.total_len() == 0 && s > 0 {
+                    self.resume_at(s);
+                }
+                // Applied at the next upcall's compact_tick, after the
+                // host had a chance to drain the live window.
+                self.comp.offer(s, cmds);
+                // A segment ahead of our watermark with nothing buffered
+                // at the watermark means we missed one: ask the
+                // designated learner for the gap.
+                if s > self.comp.watermark() && self.comp.gap_at_watermark() {
+                    ctx.send(
+                        from,
+                        Msg::NeedStable {
+                            from: self.comp.watermark(),
+                        },
+                    );
+                }
+            }
+            Msg::NeedStable { from: want } => {
+                for (f, seg) in self.comp.recent_from(want) {
+                    ctx.send(from, Msg::Stable { from: f, cmds: seg });
+                }
+            }
+            _ => {}
         }
     }
 
-    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn Context<Msg<C>>) {}
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Msg<C>>) {
+        self.compact_tick(ctx);
+        if token == TOK_STABLE_GOSSIP {
+            self.regossip_stable(ctx);
+            self.arm_stable_gossip(ctx);
+        }
+    }
 }
 
 #[cfg(test)]

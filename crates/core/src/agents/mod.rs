@@ -23,6 +23,9 @@ pub const TOK_TICK: TimerToken = TimerToken(1);
 pub const TOK_RESEND: TimerToken = TimerToken(2);
 /// Acceptor "2b" rebroadcast tick.
 pub const TOK_A_RESEND: TimerToken = TimerToken(3);
+/// Designated-learner stable-segment re-gossip tick (compaction
+/// liveness under message loss).
+pub const TOK_STABLE_GOSSIP: TimerToken = TimerToken(4);
 
 /// Metric names emitted by the agents (collected by the host runtime).
 pub mod metrics {
@@ -51,4 +54,14 @@ pub mod metrics {
     /// Persisted votes later overwritten by a non-extending value: the
     /// "wasted disk writes" of fast-round collisions (§4.2).
     pub const OVERWRITTEN_VOTES: &str = "overwritten_votes";
+    /// Serialized payload bytes handed to the network by an agent
+    /// (emitted only when `WireConfig::account_bytes` is on).
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// `2a`/`2b` payloads shipped as suffix deltas instead of full values.
+    pub const DELTA_SENDS: &str = "delta_sends";
+    /// Full values re-shipped after a receiver reported a delta gap
+    /// (`NeedFull`), or because no per-peer base was established yet.
+    pub const FULL_RESYNCS: &str = "full_resyncs";
+    /// Stable segments truncated out of an agent's live state.
+    pub const TRUNCATIONS: &str = "truncations";
 }

@@ -1,0 +1,387 @@
+//! Stable-prefix compaction bookkeeping shared by the agents.
+//!
+//! The deployment agrees on *stable segments*: slices of the designated
+//! learner's learned sequence that a learner quorum has learned (gossiped
+//! as [`crate::Msg::Stable`]). Every agent tracks the resulting global
+//! watermark with a [`Compactor`]:
+//!
+//! * segments arrive out of band and are buffered in `pending` until the
+//!   agent's *primary* value (an acceptor's `vval`, a learner's
+//!   `learned`, a coordinator's `cval`) covers them, at which point they
+//!   are truncated out and the watermark advances;
+//! * the last few applied segments are retained in `recent`, so values
+//!   ingested from peers that have not truncated as far can be
+//!   *normalized* — stripped up to the local watermark — before being
+//!   combined with local state (all lattice operators require operands
+//!   with equal watermarks);
+//! * values from peers *ahead* of the local watermark cannot be
+//!   normalized (their basement contents are unknown); callers drop such
+//!   messages and rely on retransmission after the local watermark
+//!   catches up. A quorum of up-to-date processes keeps the deployment
+//!   live while a straggler catches up.
+
+use crate::msg::Payload;
+use mcpaxos_cstruct::CStruct;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Outcome of resolving an ingested [`Payload`] against local state.
+#[derive(Debug)]
+pub enum Resolved<C: CStruct> {
+    /// The payload resolved to a value at the local watermark; the flag
+    /// says whether it differs from the base it was resolved against.
+    Value(Arc<C>, bool),
+    /// A delta could not be applied (missing/short/truncated base): the
+    /// sender must re-ship its full value ([`crate::Msg::NeedFull`]).
+    Gap,
+    /// The value is from a peer ahead of (or unreachably behind) the
+    /// local watermark and cannot be normalized. The payload is handed
+    /// back so the caller can retry once after advancing its own
+    /// compaction; if that fails too, drop the message and rely on
+    /// retransmission.
+    Unaligned(Payload<C>),
+}
+
+/// Per-agent compaction state: watermark, pending and recent segments.
+#[derive(Debug)]
+pub struct Compactor<C: CStruct> {
+    watermark: u64,
+    /// Segments announced stable but not yet applied, keyed by their
+    /// starting position.
+    pending: BTreeMap<u64, Vec<C::Cmd>>,
+    /// Applied segments kept for normalizing lagging peers' values,
+    /// oldest first.
+    recent: VecDeque<(u64, Vec<C::Cmd>)>,
+    keep: usize,
+}
+
+impl<C: CStruct> Compactor<C> {
+    /// A compactor retaining `keep` applied segments for normalization.
+    pub fn new(keep: usize) -> Self {
+        Compactor {
+            watermark: 0,
+            pending: BTreeMap::new(),
+            recent: VecDeque::new(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The agreed prefix length truncated so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Resumes at (at least) `w` after a recovery: the agent's persisted
+    /// primary value already carries this watermark. The normalization
+    /// window starts empty; lagging peers' values are dropped until fresh
+    /// segments arrive.
+    pub fn resume(&mut self, w: u64) {
+        self.watermark = self.watermark.max(w);
+    }
+
+    /// Applies pending segments *without* a primary value to truncate
+    /// (used by coordinators while they hold no `cval`): the watermark
+    /// advances and the segments enter the normalization window.
+    pub fn advance_free(&mut self, mut on_applied: impl FnMut(&[C::Cmd])) -> u64 {
+        let mut applied = 0;
+        while let Some((from, cmds)) = self.pending.remove_entry(&self.watermark) {
+            on_applied(&cmds);
+            self.watermark = from + cmds.len() as u64;
+            self.recent.push_back((from, cmds));
+            while self.recent.len() > self.keep {
+                self.recent.pop_front();
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Buffers a stable segment starting at `from` (idempotent; segments
+    /// below the watermark or absurdly far ahead are ignored).
+    pub fn offer(&mut self, from: u64, cmds: Vec<C::Cmd>) {
+        if cmds.is_empty() || from < self.watermark || self.pending.contains_key(&from) {
+            return;
+        }
+        self.pending.insert(from, cmds);
+        // Bound the buffer: a malicious or wildly ahead stream of segments
+        // must not grow memory; keep the nearest few.
+        while self.pending.len() > 2 * self.keep {
+            let last = *self.pending.keys().next_back().expect("non-empty");
+            self.pending.remove(&last);
+        }
+    }
+
+    /// Applies every pending segment the primary value covers, in order,
+    /// advancing the watermark. `on_applied` runs once per applied
+    /// segment (for metric emission and pruning of side state).
+    pub fn advance(&mut self, primary: &mut C, mut on_applied: impl FnMut(&[C::Cmd])) -> u64 {
+        let mut applied = 0;
+        while let Some(cmds) = self.pending.get(&self.watermark) {
+            if !primary.truncate_stable(cmds) {
+                break; // primary not caught up yet; retry after it grows
+            }
+            let (from, cmds) = self
+                .pending
+                .remove_entry(&self.watermark)
+                .expect("just probed");
+            on_applied(&cmds);
+            self.watermark = from + cmds.len() as u64;
+            self.recent.push_back((from, cmds));
+            while self.recent.len() > self.keep {
+                self.recent.pop_front();
+            }
+            applied += 1;
+        }
+        // Anything below the watermark can never apply again.
+        while let Some((&k, _)) = self.pending.iter().next() {
+            if k >= self.watermark {
+                break;
+            }
+            self.pending.remove(&k);
+        }
+        applied
+    }
+
+    /// Whether the segment that would advance the watermark is missing
+    /// entirely (as opposed to buffered but not yet covered by the
+    /// primary value): the condition under which a gap resync request
+    /// ([`crate::Msg::NeedStable`]) is useful.
+    pub fn gap_at_watermark(&self) -> bool {
+        !self.pending.contains_key(&self.watermark)
+    }
+
+    /// The retained stable segments at or above `from`, for answering a
+    /// lagging peer's [`crate::Msg::NeedStable`] resync request.
+    pub fn recent_from(&self, from: u64) -> Vec<(u64, Vec<C::Cmd>)> {
+        self.recent
+            .iter()
+            .filter(|(f, _)| *f >= from)
+            .cloned()
+            .collect()
+    }
+
+    /// Restart path for learners: a primary that sits *exactly empty at
+    /// the watermark* (a checkpoint-restored learner whose history below
+    /// the watermark no longer exists anywhere) may *adopt* the pending
+    /// segment at the watermark as learned — it is quorum-learned by
+    /// definition. The segment enters the live window (so a host can
+    /// drain it) and is truncated by a later [`Compactor::advance`].
+    /// Returns whether anything was adopted.
+    pub fn adopt_into(&self, primary: &mut C) -> bool {
+        if primary.watermark() != self.watermark || primary.total_len() != self.watermark {
+            return false;
+        }
+        match self.pending.get(&self.watermark) {
+            Some(cmds) => primary
+                .apply_suffix(self.watermark, cmds)
+                .map(|n| n > 0)
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+
+    /// Whether `c` was truncated by one of the retained recent segments.
+    /// Used to drop re-deliveries and re-proposals of already-stable
+    /// commands, which would otherwise re-enter live windows (their
+    /// membership entries are gone after truncation).
+    pub fn contains_recent(&self, c: &C::Cmd) -> bool {
+        self.recent.iter().any(|(_, seg)| seg.contains(c))
+    }
+
+    /// Strips applied segments out of `v` until it reaches the local
+    /// watermark. Returns `false` (leaving `v` in a partially normalized
+    /// but self-consistent state) when `v` is ahead of the watermark, or
+    /// so far behind that the needed segments have left `recent`, or a
+    /// strip fails.
+    pub fn normalize(&self, v: &mut C) -> bool {
+        while v.watermark() < self.watermark {
+            let seg = match self.recent.iter().find(|(from, _)| *from == v.watermark()) {
+                Some((_, cmds)) => cmds,
+                None => return false, // fell out of the window
+            };
+            if !v.truncate_stable(seg) {
+                return false;
+            }
+        }
+        v.watermark() == self.watermark
+    }
+
+    /// Resolves an ingested payload against `base` (the last value this
+    /// peer shipped for the same round, already at the local watermark).
+    ///
+    /// Full values are normalized to the local watermark (cloning only
+    /// when stripping is needed); deltas are applied on a copy of the
+    /// base. The `bool` in [`Resolved::Value`] reports whether the
+    /// resolved value differs from `base`.
+    pub fn resolve(&self, payload: Payload<C>, base: Option<&Arc<C>>) -> Resolved<C> {
+        match payload {
+            Payload::Full(v) => {
+                let v = if v.watermark() == self.watermark {
+                    v
+                } else if v.watermark() < self.watermark {
+                    let mut owned = (*v).clone();
+                    if !self.normalize(&mut owned) {
+                        return Resolved::Unaligned(Payload::Full(v));
+                    }
+                    Arc::new(owned)
+                } else {
+                    // We are behind the sender.
+                    return Resolved::Unaligned(Payload::Full(v));
+                };
+                let changed = match base {
+                    Some(b) => b.watermark() != v.watermark() || **b != *v,
+                    None => true,
+                };
+                Resolved::Value(v, changed)
+            }
+            Payload::Delta {
+                base_len,
+                mut suffix,
+            } => {
+                let b = match base {
+                    Some(b) if b.watermark() == self.watermark => b,
+                    _ => return Resolved::Gap,
+                };
+                // A re-delivered stale delta may carry commands that were
+                // truncated (as stable) since: they must not re-enter the
+                // live window.
+                suffix.retain(|c| !self.contains_recent(c));
+                if suffix.is_empty() && base_len <= b.total_len() {
+                    return Resolved::Value(b.clone(), false); // pure keep-alive
+                }
+                let mut owned = (**b).clone();
+                match owned.apply_suffix(base_len, &suffix) {
+                    Ok(appended) => Resolved::Value(Arc::new(owned), appended > 0),
+                    Err(_) => Resolved::Gap,
+                }
+            }
+        }
+    }
+
+    /// Normalizes a stored shared value in place; returns `false` when it
+    /// cannot be brought to the watermark (caller should drop it).
+    pub fn normalize_arc(&self, v: &mut Arc<C>) -> bool {
+        if v.watermark() == self.watermark {
+            return true;
+        }
+        if v.watermark() > self.watermark {
+            return false;
+        }
+        let mut owned = (**v).clone();
+        if !self.normalize(&mut owned) {
+            return false;
+        }
+        *v = Arc::new(owned);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::wire::{Wire, WireError};
+    use mcpaxos_cstruct::{CommandHistory, Conflict, ConflictKeys};
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct K(u16, u16);
+    impl Conflict for K {
+        fn conflicts(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+        fn conflict_keys(&self) -> ConflictKeys {
+            ConflictKeys::one(u64::from(self.0))
+        }
+    }
+    impl Wire for K {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+        fn decode(i: &mut &[u8]) -> Result<Self, WireError> {
+            Ok(K(u16::decode(i)?, u16::decode(i)?))
+        }
+    }
+
+    type H = CommandHistory<K>;
+
+    fn h(n: u16) -> H {
+        (0..n).map(|i| K(i % 4, i)).collect()
+    }
+
+    #[test]
+    fn advance_waits_for_primary_coverage() {
+        let mut c: Compactor<H> = Compactor::new(4);
+        let seg: Vec<K> = (0..4).map(|i| K(i % 4, i)).collect();
+        c.offer(0, seg);
+        let mut small = h(2); // does not contain K(2,2), K(3,3) yet
+        assert_eq!(c.advance(&mut small, |_| {}), 0);
+        assert_eq!(c.watermark(), 0);
+        let mut big = h(6);
+        assert_eq!(c.advance(&mut big, |_| {}), 1);
+        assert_eq!(c.watermark(), 4);
+        assert_eq!(big.watermark(), 4);
+        assert_eq!(big.live_len(), 2);
+    }
+
+    #[test]
+    fn normalize_strips_recent_segments() {
+        let mut c: Compactor<H> = Compactor::new(4);
+        c.offer(0, (0..4).map(|i| K(i % 4, i)).collect());
+        let mut primary = h(8);
+        c.advance(&mut primary, |_| {});
+        // A peer value that has not truncated yet.
+        let mut lagging = h(8);
+        assert!(c.normalize(&mut lagging));
+        assert_eq!(lagging.watermark(), 4);
+        assert_eq!(lagging, primary);
+        // A value ahead of us cannot be normalized.
+        let c2: Compactor<H> = Compactor::new(4);
+        let mut ahead = h(8);
+        c.normalize(&mut ahead);
+        assert!(!c2.normalize(&mut ahead));
+    }
+
+    #[test]
+    fn resolve_applies_deltas_and_flags_gaps() {
+        let c: Compactor<H> = Compactor::new(4);
+        let base = Arc::new(h(4));
+        // Suffix extending the base.
+        let suffix: Vec<K> = (4..6).map(|i| K(i % 4, i)).collect();
+        match c.resolve(
+            Payload::Delta {
+                base_len: 4,
+                suffix,
+            },
+            Some(&base),
+        ) {
+            Resolved::Value(v, changed) => {
+                assert!(changed);
+                assert_eq!(v.total_len(), 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Delta past the base: gap.
+        assert!(matches!(
+            c.resolve(
+                Payload::Delta {
+                    base_len: 9,
+                    suffix: vec![K(0, 9)]
+                },
+                Some(&base)
+            ),
+            Resolved::Gap
+        ));
+        // Delta without a base: gap.
+        assert!(matches!(
+            c.resolve(
+                Payload::Delta {
+                    base_len: 0,
+                    suffix: vec![K(0, 0)]
+                },
+                None
+            ),
+            Resolved::Gap
+        ));
+    }
+}

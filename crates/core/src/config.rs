@@ -34,6 +34,60 @@ pub enum CollisionPolicy {
     Uncoordinated,
 }
 
+/// Value-propagation and retention policy: delta shipping and
+/// stable-prefix compaction.
+///
+/// Everything here defaults to *off*, reproducing the paper's
+/// whole-c-struct message semantics exactly; deployments that need bounded
+/// wire bytes and memory under long command streams switch the pieces on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Ship `2a`/`2b` c-structs as suffix deltas against each peer's last
+    /// shipped value, falling back to full values on gaps (`NeedFull`).
+    pub delta_ship: bool,
+    /// Stable-prefix compaction: once the designated learner has this many
+    /// commands above the current watermark and a learner quorum acks
+    /// them, broadcast a `Stable` segment and truncate. 0 disables.
+    pub compact_every: u64,
+    /// Applied stable segments each agent keeps for normalizing values
+    /// from peers that have not yet truncated as far.
+    pub stable_keep: usize,
+    /// Replicas persist a state-machine checkpoint every this many applied
+    /// commands (0 disables); a restarted replica resumes from it instead
+    /// of replaying a full history.
+    pub checkpoint_every: u64,
+    /// Emit per-send `bytes_sent` metrics from the agents (costs one
+    /// serialization per send; off for the latency experiments).
+    pub account_bytes: bool,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            delta_ship: false,
+            compact_every: 0,
+            stable_keep: 8,
+            checkpoint_every: 0,
+            account_bytes: false,
+        }
+    }
+}
+
+impl WireConfig {
+    /// The bounded-resources preset: delta shipping plus compaction every
+    /// `segment` commands (and replica checkpoints at the same cadence),
+    /// with byte accounting on.
+    pub fn bounded(segment: u64) -> Self {
+        WireConfig {
+            delta_ship: true,
+            compact_every: segment,
+            stable_keep: 8,
+            checkpoint_every: segment,
+            account_bytes: true,
+        }
+    }
+}
+
 /// Protocol timing constants, in ticks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Timing {
@@ -92,6 +146,8 @@ pub struct DeployConfig {
     pub notify_learned: bool,
     /// Timers.
     pub timing: Timing,
+    /// Delta shipping, compaction and checkpoint policy.
+    pub wire: WireConfig,
 }
 
 impl DeployConfig {
@@ -121,6 +177,7 @@ impl DeployConfig {
             load_balance: false,
             notify_learned: true,
             timing: Timing::default(),
+            wire: WireConfig::default(),
         }
     }
 
@@ -160,6 +217,18 @@ impl DeployConfig {
         self
     }
 
+    /// Returns `self` with the given wire (delta/compaction) policy.
+    pub fn with_wire(mut self, wire: WireConfig) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Learner-quorum size for stable-watermark agreement: a majority of
+    /// the deployed learners (1 for a single learner).
+    pub fn learner_quorum(&self) -> usize {
+        self.roles.learners().len() / 2 + 1
+    }
+
     /// Checks internal consistency: quorum requirements, role coverage,
     /// and that the collision policy fits the schedule.
     ///
@@ -184,6 +253,9 @@ impl DeployConfig {
         }
         if self.schedule.all_coordinators() != self.roles.coordinators() {
             return Err("schedule coordinators differ from role map".into());
+        }
+        if self.wire.compact_every > 0 && self.wire.stable_keep == 0 {
+            return Err("compaction requires stable_keep >= 1 (normalization window)".into());
         }
         if self.collision == CollisionPolicy::Uncoordinated
             && self.schedule.policy() != Policy::FastForever

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod agents;
+mod compact;
 mod config;
 mod msg;
 mod provedsafe;
@@ -51,8 +52,9 @@ mod round;
 mod schedule;
 
 pub use agents::{Acceptor, Coordinator, Learner, Proposer};
-pub use config::{CollisionPolicy, DeployConfig, Durability, Timing};
-pub use msg::Msg;
+pub use compact::{Compactor, Resolved};
+pub use config::{CollisionPolicy, DeployConfig, Durability, Timing, WireConfig};
+pub use msg::{Msg, Payload};
 pub use provedsafe::{pick, proved_safe, proved_safe_exact, OneB};
 pub use quorum::{check_intersections, CoordQuorum, QuorumSpec, RoundInfo};
 pub use round::Round;

@@ -10,6 +10,104 @@ use mcpaxos_actor::ProcessId;
 use mcpaxos_cstruct::CStruct;
 use std::sync::Arc;
 
+/// A c-struct carried by `1b`/`2a`/`2b` messages: either the whole value
+/// or a *delta* against a base the receiver is known (optimistically) to
+/// hold.
+///
+/// Senders that just shipped a value of `base_len` commands to a peer can
+/// follow up with `Delta { base_len, suffix }` — the commands at logical
+/// positions `base_len..` — turning the O(n²) cumulative cost of
+/// re-serializing ever-growing histories into O(n). Receivers reconstruct
+/// against their stored copy of the sender's last value and answer
+/// [`Msg::NeedFull`] on a gap (lost base, truncated past the base), upon
+/// which the sender falls back to `Full`. `Full` payloads are `Arc`-shared
+/// exactly as before: fan-out clones a pointer, not the history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload<C: CStruct> {
+    /// The whole c-struct, shared across the fan-out.
+    Full(Arc<C>),
+    /// The commands at logical positions `base_len..` of the sender's
+    /// value; the receiver appends them to its copy of the sender's last
+    /// shipped value (`base_len` counts the truncated stable prefix too,
+    /// so lengths are comparable across compactions).
+    Delta {
+        /// Logical length of the base the suffix extends.
+        base_len: u64,
+        /// The commands beyond the base, in the sender's order.
+        suffix: Vec<C::Cmd>,
+    },
+}
+
+impl<C: CStruct> Payload<C> {
+    /// Wraps a full value.
+    pub fn full(v: C) -> Self {
+        Payload::Full(Arc::new(v))
+    }
+
+    /// Whether this is a delta payload.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, Payload::Delta { .. })
+    }
+
+    /// The shared full value, when this is a `Full` payload. Test and
+    /// harness convenience; agents resolve payloads against their bases.
+    pub fn as_full(&self) -> Option<&Arc<C>> {
+        match self {
+            Payload::Full(v) => Some(v),
+            Payload::Delta { .. } => None,
+        }
+    }
+
+    /// Serialized size in bytes, as the wire accounting sees it.
+    pub fn encoded_len(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len() as u64
+    }
+}
+
+/// `C` and `Arc<C>` convert into full payloads, so call sites (and tests)
+/// can keep writing `val: value.into()`.
+impl<C: CStruct> From<C> for Payload<C> {
+    fn from(v: C) -> Self {
+        Payload::full(v)
+    }
+}
+
+impl<C: CStruct> From<Arc<C>> for Payload<C> {
+    fn from(v: Arc<C>) -> Self {
+        Payload::Full(v)
+    }
+}
+
+impl<C: CStruct> Wire for Payload<C> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Full(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Payload::Delta { base_len, suffix } => {
+                out.push(1);
+                base_len.encode(out);
+                suffix.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Payload::Full(Arc::<C>::decode(input)?)),
+            1 => Ok(Payload::Delta {
+                base_len: u64::decode(input)?,
+                suffix: Wire::decode(input)?,
+            }),
+            _ => Err(WireError {
+                what: "invalid payload tag",
+            }),
+        }
+    }
+}
+
 /// Messages exchanged by Multicoordinated Paxos agents.
 ///
 /// The type parameter is the c-struct set the deployment agrees on;
@@ -45,16 +143,16 @@ pub enum Msg<C: CStruct> {
         round: Round,
         /// Round at which `vval` was accepted.
         vrnd: Round,
-        /// Latest accepted c-struct, shared across the fan-out.
-        vval: Arc<C>,
+        /// Latest accepted c-struct (full or delta-shipped).
+        vval: Payload<C>,
     },
     /// `⟨"2a", i, val⟩` — a coordinator forwards (its current suggestion
     /// of) the round-`i` value to acceptors.
     P2a {
         /// The round.
         round: Round,
-        /// The coordinator's current `cval`, shared across the fan-out.
-        val: Arc<C>,
+        /// The coordinator's current `cval` (full or delta-shipped).
+        val: Payload<C>,
     },
     /// `⟨"2b", i, val⟩` — an acceptor announces its accepted value. Sent
     /// to learners, and to coordinators (who monitor progress, detect fast
@@ -63,8 +161,8 @@ pub enum Msg<C: CStruct> {
     P2b {
         /// The round.
         round: Round,
-        /// The acceptor's accepted c-struct, shared across the fan-out.
-        val: Arc<C>,
+        /// The acceptor's accepted c-struct (full or delta-shipped).
+        val: Payload<C>,
     },
     /// Nack: the receiver's round is below the sender's current round
     /// (§4.3 — lets a leader discover it must start a higher round).
@@ -80,6 +178,46 @@ pub enum Msg<C: CStruct> {
         /// Commands newly contained in the learner's `learned` value.
         cmds: Vec<C::Cmd>,
     },
+    /// Receiver → sender: a delta payload for `round` could not be
+    /// applied (missing or truncated base); the sender should re-ship its
+    /// full current value to this process.
+    NeedFull {
+        /// The round whose payload failed to resolve.
+        round: Round,
+    },
+    /// Designated learner → other learners: "I have learned this stable
+    /// segment (the commands at logical positions `from..from+len`); ack
+    /// once you have learned it too."
+    StableProposal {
+        /// Logical position of the segment's first command (the proposing
+        /// learner's watermark).
+        from: u64,
+        /// The segment's commands, in the proposer's learned order.
+        cmds: Vec<C::Cmd>,
+    },
+    /// Learner → designated learner: "my learned value contains the
+    /// segment starting at `upto`."
+    StableAck {
+        /// The `from` of the acked [`Msg::StableProposal`].
+        upto: u64,
+    },
+    /// Designated learner → everyone: a learner quorum has learned the
+    /// segment at `from`; truncate it out of live state once your own
+    /// value covers it.
+    Stable {
+        /// Logical position of the segment's first command.
+        from: u64,
+        /// The segment's commands.
+        cmds: Vec<C::Cmd>,
+    },
+    /// Receiver → sender: "you are ahead of my watermark `from`; re-send
+    /// the stable segments between us" (answered with [`Msg::Stable`]
+    /// messages from the sender's retained window). Lets a restarted or
+    /// lagging agent catch up with the compaction frontier.
+    NeedStable {
+        /// The requester's current watermark.
+        from: u64,
+    },
 }
 
 impl<C: CStruct> Msg<C> {
@@ -94,6 +232,11 @@ impl<C: CStruct> Msg<C> {
             Msg::RoundTooLow { .. } => "nack",
             Msg::Heartbeat => "heartbeat",
             Msg::Learned { .. } => "learned",
+            Msg::NeedFull { .. } => "needfull",
+            Msg::StableProposal { .. } => "stable_prop",
+            Msg::StableAck { .. } => "stable_ack",
+            Msg::Stable { .. } => "stable",
+            Msg::NeedStable { .. } => "needstable",
         }
     }
 }
@@ -135,6 +278,28 @@ impl<C: CStruct> Wire for Msg<C> {
                 out.push(7);
                 cmds.encode(out);
             }
+            Msg::NeedFull { round } => {
+                out.push(8);
+                round.encode(out);
+            }
+            Msg::StableProposal { from, cmds } => {
+                out.push(9);
+                from.encode(out);
+                cmds.encode(out);
+            }
+            Msg::StableAck { upto } => {
+                out.push(10);
+                upto.encode(out);
+            }
+            Msg::Stable { from, cmds } => {
+                out.push(11);
+                from.encode(out);
+                cmds.encode(out);
+            }
+            Msg::NeedStable { from } => {
+                out.push(12);
+                from.encode(out);
+            }
         }
     }
 
@@ -150,15 +315,15 @@ impl<C: CStruct> Wire for Msg<C> {
             2 => Ok(Msg::P1b {
                 round: Round::decode(input)?,
                 vrnd: Round::decode(input)?,
-                vval: Arc::<C>::decode(input)?,
+                vval: Payload::<C>::decode(input)?,
             }),
             3 => Ok(Msg::P2a {
                 round: Round::decode(input)?,
-                val: Arc::<C>::decode(input)?,
+                val: Payload::<C>::decode(input)?,
             }),
             4 => Ok(Msg::P2b {
                 round: Round::decode(input)?,
-                val: Arc::<C>::decode(input)?,
+                val: Payload::<C>::decode(input)?,
             }),
             5 => Ok(Msg::RoundTooLow {
                 heard: Round::decode(input)?,
@@ -166,6 +331,23 @@ impl<C: CStruct> Wire for Msg<C> {
             6 => Ok(Msg::Heartbeat),
             7 => Ok(Msg::Learned {
                 cmds: Wire::decode(input)?,
+            }),
+            8 => Ok(Msg::NeedFull {
+                round: Round::decode(input)?,
+            }),
+            9 => Ok(Msg::StableProposal {
+                from: u64::decode(input)?,
+                cmds: Wire::decode(input)?,
+            }),
+            10 => Ok(Msg::StableAck {
+                upto: u64::decode(input)?,
+            }),
+            11 => Ok(Msg::Stable {
+                from: u64::decode(input)?,
+                cmds: Wire::decode(input)?,
+            }),
+            12 => Ok(Msg::NeedStable {
+                from: u64::decode(input)?,
             }),
             _ => Err(WireError {
                 what: "invalid msg tag",
@@ -192,19 +374,30 @@ mod tests {
             Msg::P1b {
                 round: Round::ZERO,
                 vrnd: Round::ZERO,
-                vval: Arc::new(SingleDecree::bottom()),
+                vval: SingleDecree::bottom().into(),
             },
             Msg::P2a {
                 round: Round::ZERO,
-                val: Arc::new(SingleDecree::bottom()),
+                val: SingleDecree::bottom().into(),
             },
             Msg::P2b {
                 round: Round::ZERO,
-                val: Arc::new(SingleDecree::bottom()),
+                val: SingleDecree::bottom().into(),
             },
             Msg::RoundTooLow { heard: Round::ZERO },
             Msg::Heartbeat,
             Msg::Learned { cmds: vec![] },
+            Msg::NeedFull { round: Round::ZERO },
+            Msg::StableProposal {
+                from: 0,
+                cmds: vec![],
+            },
+            Msg::StableAck { upto: 0 },
+            Msg::Stable {
+                from: 0,
+                cmds: vec![],
+            },
+            Msg::NeedStable { from: 0 },
         ];
         let tags: Vec<&str> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(
@@ -217,7 +410,12 @@ mod tests {
                 "2b",
                 "nack",
                 "heartbeat",
-                "learned"
+                "learned",
+                "needfull",
+                "stable_prop",
+                "stable_ack",
+                "stable",
+                "needstable"
             ]
         );
     }
@@ -227,7 +425,7 @@ mod tests {
         type M = Msg<SingleDecree<u32>>;
         let m: M = Msg::P2a {
             round: Round::new(1, 2, 0, 1),
-            val: Arc::new(SingleDecree::decided(9)),
+            val: SingleDecree::decided(9).into(),
         };
         assert_eq!(m.clone(), m);
     }
@@ -250,15 +448,22 @@ mod tests {
             Msg::P1b {
                 round: Round::new(3, 1, 2, 0),
                 vrnd: Round::ZERO,
-                vval: Arc::new(SingleDecree::decided(11)),
+                vval: SingleDecree::decided(11).into(),
             },
             Msg::P2a {
                 round: Round::new(1, 0, 0, 1),
-                val: Arc::new(SingleDecree::bottom()),
+                val: SingleDecree::bottom().into(),
             },
             Msg::P2b {
                 round: Round::new(1, 0, 0, 1),
-                val: Arc::new(SingleDecree::decided(2)),
+                val: SingleDecree::decided(2).into(),
+            },
+            Msg::P2b {
+                round: Round::new(1, 0, 0, 1),
+                val: Payload::Delta {
+                    base_len: 3,
+                    suffix: vec![4, 5],
+                },
             },
             Msg::RoundTooLow {
                 heard: Round::new(9, 9, 9, 2),
@@ -267,6 +472,19 @@ mod tests {
             Msg::Learned {
                 cmds: vec![1, 2, 3],
             },
+            Msg::NeedFull {
+                round: Round::new(2, 0, 1, 0),
+            },
+            Msg::StableProposal {
+                from: 64,
+                cmds: vec![9, 10],
+            },
+            Msg::StableAck { upto: 64 },
+            Msg::Stable {
+                from: 64,
+                cmds: vec![9, 10],
+            },
+            Msg::NeedStable { from: 64 },
         ];
         for m in msgs {
             let back: M = from_bytes(&to_bytes(&m)).unwrap();

@@ -166,8 +166,7 @@ pub fn proved_safe_exact<C: CStruct>(
     if gamma.is_empty() {
         return kacceptors.iter().map(|&p| val_of(p).clone()).collect();
     }
-    let lub =
-        lub_all(gamma.into_iter()).expect("Fast Quorum Requirement violated in exact ProvedSafe");
+    let lub = lub_all(gamma).expect("Fast Quorum Requirement violated in exact ProvedSafe");
     vec![lub]
 }
 

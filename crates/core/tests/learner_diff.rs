@@ -150,7 +150,7 @@ where
             ProcessId(acc),
             Msg::P2b {
                 round: rounds[ri],
-                val: Arc::new(val.clone()),
+                val: Arc::new(val.clone()).into(),
             },
             &mut ctx,
         );

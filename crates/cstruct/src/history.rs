@@ -22,13 +22,25 @@
 //!   `prefix`/`compatible` into single front-pointer passes costing
 //!   O(n + conflict-edges).
 //!
-//! Positions are stable: a history only ever grows (operators build new
-//! values), so adjacency lists and index entries are never invalidated.
+//! Histories are *windowed*, not grow-forever: a history is logically a
+//! truncated **stable prefix** (identified only by its length, the
+//! *watermark*) followed by the live representation. The deployment's
+//! compaction protocol agrees on stable segments (commands learned by a
+//! learner quorum); [`CommandHistory::truncate_stable`] removes such a
+//! segment from the live window and advances the watermark, and
+//! [`CommandHistory::suffix_from`] / [`CommandHistory::apply_suffix`]
+//! ship increments instead of whole values. All lattice operators remain
+//! correct *above the watermark*: they require both operands to carry the
+//! same watermark (the agents normalize values at ingestion) and then
+//! operate on the live windows, which is equivalent to operating on the
+//! full values because every participant's value extends the same stable
+//! prefix. Within one value, positions are stable: the live window only
+//! ever grows between truncations, and truncation rebuilds all indexes.
 //! Every operator is a behavioural twin of the reference implementation;
 //! `tests/prop_history_diff.rs` pins the two against each other on random
-//! conflict relations.
+//! conflict relations, including across truncation.
 
-use crate::traits::{CStruct, Command};
+use crate::traits::{CStruct, Command, SuffixGap};
 use mcpaxos_actor::wire::{Wire, WireError};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -221,6 +233,11 @@ impl Bucket {
 /// bigger problems than this index.
 #[derive(Clone, Debug)]
 pub struct CommandHistory<C> {
+    /// Number of commands truncated below the stable watermark. The
+    /// history logically equals `<stable prefix of trunc commands> ++ seq`
+    /// but only `seq` is stored; binary operators require equal `trunc`
+    /// on both operands (see module docs).
+    trunc: u64,
     seq: Vec<C>,
     /// Membership index: command → its position in `seq`.
     pos: HashMap<C, u32, DetState>,
@@ -241,6 +258,7 @@ pub struct CommandHistory<C> {
 impl<C> Default for CommandHistory<C> {
     fn default() -> Self {
         CommandHistory {
+            trunc: 0,
             seq: Vec::new(),
             pos: HashMap::default(),
             by_key: HashMap::default(),
@@ -277,6 +295,26 @@ impl<C: Conflict + Eq + Hash + Clone> CommandHistory<C> {
     /// benchmarks and diagnostics (operator cost is O(n + edges)).
     pub fn conflict_edges(&self) -> usize {
         self.pred_edges.len()
+    }
+
+    /// Number of commands in the live window (excluding the truncated
+    /// stable prefix); the memory the value actually occupies.
+    pub fn live_len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Binary operators are only defined above a *common* watermark: both
+    /// operands must extend the same truncated stable prefix. The agents
+    /// maintain this invariant by normalizing every ingested value; a
+    /// violation here is a protocol-layer bug, so fail loudly.
+    #[track_caller]
+    fn assert_aligned(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.trunc, other.trunc,
+            "CommandHistory::{op} on values with different watermarks \
+             ({} vs {}): normalize to a common watermark before combining",
+            self.trunc, other.trunc
+        );
     }
 
     /// Position `i`'s conflict predecessors (unordered).
@@ -411,7 +449,10 @@ impl<C: Conflict + Eq + Hash + Clone> CommandHistory<C> {
         for (ni, &oj) in kept.iter().enumerate() {
             renumber[oj] = ni as u32;
         }
-        let mut out = Self::default();
+        let mut out = Self {
+            trunc: src.trunc,
+            ..Self::default()
+        };
         out.seq.reserve(kept.len());
         out.pred_off.reserve(kept.len());
         out.pos = HashMap::with_capacity_and_hasher(kept.len(), DetState::default());
@@ -544,6 +585,7 @@ impl<C: Conflict + Eq + Hash + Clone> PartialEq for CommandHistory<C> {
     /// so agreeing on edge orientations implies equal transitive closures.)
     /// O(n + conflict-edges) through the indexes.
     fn eq(&self, other: &Self) -> bool {
+        self.assert_aligned(other, "eq");
         if self.seq.len() != other.seq.len() {
             return false;
         }
@@ -590,6 +632,12 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
         Self::new()
     }
 
+    fn bottom_at(watermark: u64) -> Self {
+        let mut h = Self::new();
+        h.trunc = watermark;
+        h
+    }
+
     fn append(&mut self, cmd: C) {
         if !self.pos.contains_key(&cmd) {
             self.push_new(cmd);
@@ -597,6 +645,7 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn le(&self, other: &Self) -> bool {
+        self.assert_aligned(other, "le");
         // self ⊑ other iff other = self • σ for some σ, i.e.:
         // (1) every command of self occurs in other;
         // (2) conflicting pairs within self keep their orientation in other;
@@ -630,10 +679,12 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn glb(&self, other: &Self) -> Self {
+        self.assert_aligned(other, "glb");
         Self::from_subsequence(self, &Self::prefix(self, other))
     }
 
     fn lub(&self, other: &Self) -> Option<Self> {
+        self.assert_aligned(other, "lub");
         if Self::compatible_impl(self, other) {
             // h's sequence followed by the commands of `other` not in h,
             // in `other`'s order; self's indexes are reused wholesale.
@@ -650,6 +701,7 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn compatible(&self, other: &Self) -> bool {
+        self.assert_aligned(other, "compatible");
         Self::compatible_impl(self, other)
     }
 
@@ -666,18 +718,97 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
     }
 
     fn is_bottom(&self) -> bool {
-        self.seq.is_empty()
+        // A truncated-empty history is not ⊥: it still extends the stable
+        // prefix below its watermark.
+        self.seq.is_empty() && self.trunc == 0
+    }
+
+    fn watermark(&self) -> u64 {
+        self.trunc
+    }
+
+    fn total_len(&self) -> u64 {
+        self.trunc + self.seq.len() as u64
+    }
+
+    fn suffix_from(&self, base_len: u64) -> Option<Vec<C>> {
+        if base_len < self.trunc || base_len > CStruct::total_len(self) {
+            return None;
+        }
+        Some(self.seq[(base_len - self.trunc) as usize..].to_vec())
+    }
+
+    fn apply_suffix(&mut self, base_len: u64, suffix: &[C]) -> Result<u64, SuffixGap> {
+        if base_len < self.trunc || base_len > CStruct::total_len(self) {
+            return Err(SuffixGap);
+        }
+        // Plain deduplicating appends: the overlap (positions the receiver
+        // already holds, common under duplicated delivery) is skipped by
+        // the membership index, commands beyond the local tail extend it.
+        let mut appended = 0u64;
+        for c in suffix {
+            if !self.pos.contains_key(c) {
+                self.push_new(c.clone());
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+
+    fn truncate_stable(&mut self, stable: &[C]) -> bool {
+        if stable.is_empty() {
+            return true;
+        }
+        // Every stable command must be present, exactly once.
+        let mut is_stable = vec![false; self.seq.len()];
+        for c in stable {
+            match self.pos.get(c) {
+                Some(&j) if !is_stable[j as usize] => is_stable[j as usize] = true,
+                _ => return false,
+            }
+        }
+        // Removal must preserve the partial order above the watermark: the
+        // stable set has to be downward-closed under conflict edges (a kept
+        // command ordered *before* a removed one would lose its
+        // orientation; stable prefixes, being glbs every value extends,
+        // always satisfy this).
+        for i in 0..self.seq.len() {
+            if is_stable[i] && self.preds_of(i).iter().any(|&p| !is_stable[p as usize]) {
+                return false;
+            }
+        }
+        let kept: Vec<usize> = (0..self.seq.len()).filter(|&i| !is_stable[i]).collect();
+        let mut out = Self::from_subsequence(self, &kept);
+        out.trunc = self.trunc + stable.len() as u64;
+        *self = out;
+        true
+    }
+
+    fn stable_segment(&self, from: u64, max: usize) -> Option<Vec<C>> {
+        if from != self.trunc {
+            return None;
+        }
+        let k = max.min(self.seq.len());
+        if k == 0 {
+            return None;
+        }
+        Some(self.seq[..k].to_vec())
     }
 }
 
 impl<C: Wire + Conflict + Eq + Hash + Clone> Wire for CommandHistory<C> {
     fn encode(&self, out: &mut Vec<u8>) {
+        self.trunc.encode(out);
         self.seq.encode(out);
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         // Rebuild the indexes from the decoded sequence (deduplicating, as
-        // `append` would).
-        Ok(Vec::<C>::decode(input)?.into_iter().collect())
+        // `append` would); the watermark travels with the value so a
+        // receiver knows which stable prefix it extends.
+        let trunc = u64::decode(input)?;
+        let mut h: Self = Vec::<C>::decode(input)?.into_iter().collect();
+        h.trunc = trunc;
+        Ok(h)
     }
 }
 
@@ -729,7 +860,7 @@ mod tests {
         let a = K(1, 0);
         let b = K(2, 0);
         let c = K(1, 1); // conflicts with a
-        let base = h(&[a.clone()]);
+        let base = h(std::slice::from_ref(&a));
         // base • b and base • c both extend base.
         assert!(base.le(&h(&[a.clone(), b.clone()])));
         assert!(base.le(&h(&[a.clone(), c.clone()])));
@@ -749,7 +880,7 @@ mod tests {
         // Both histories start with a, then order x and y differently.
         let h1 = h(&[a.clone(), x.clone(), y.clone()]);
         let h2 = h(&[a.clone(), y.clone(), x.clone()]);
-        assert_eq!(h1.glb(&h2), h(&[a.clone()]));
+        assert_eq!(h1.glb(&h2), h(std::slice::from_ref(&a)));
         assert!(!h1.compatible(&h2));
         assert_eq!(h1.lub(&h2), None);
         // Diverging on commuting commands: fully compatible.
@@ -794,7 +925,7 @@ mod tests {
         let x = K(5, 0);
         let c = K(5, 1);
         let h1 = h(&[x.clone(), c.clone()]);
-        let h2 = h(&[c.clone()]);
+        let h2 = h(std::slice::from_ref(&c));
         assert!(!h1.compatible(&h2));
         assert!(!h2.compatible(&h1));
         assert_eq!(h1.glb(&h2), CommandHistory::bottom());

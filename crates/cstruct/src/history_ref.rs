@@ -18,16 +18,22 @@
 use crate::history::Conflict;
 
 /// A command history represented exactly as in the paper: a bare
-/// sequence, every operator recomputed from scratch.
+/// sequence, every operator recomputed from scratch. Carries the same
+/// stable-prefix watermark as the indexed implementation so it can serve
+/// as the differential oracle for delta shipping and compaction too.
 #[derive(Clone, Debug, Default)]
 pub struct RefCommandHistory<C> {
+    trunc: u64,
     seq: Vec<C>,
 }
 
 impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
     /// Creates the empty history (`⊥`).
     pub fn new() -> Self {
-        RefCommandHistory { seq: Vec::new() }
+        RefCommandHistory {
+            trunc: 0,
+            seq: Vec::new(),
+        }
     }
 
     /// The representing sequence.
@@ -112,8 +118,92 @@ impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
         Err(false)
     }
 
+    /// Watermark and delta API, transcribed naively (linear scans, no
+    /// indexes) so `tests/prop_history_diff.rs` can pin the indexed
+    /// implementation's compaction against an independent oracle.
+    ///
+    /// Commands truncated below the stable watermark.
+    pub fn watermark(&self) -> u64 {
+        self.trunc
+    }
+
+    /// Logical command count including the truncated prefix.
+    pub fn total_len(&self) -> u64 {
+        self.trunc + self.seq.len() as u64
+    }
+
+    /// The commands at logical positions `base_len..total_len()`.
+    pub fn suffix_from(&self, base_len: u64) -> Option<Vec<C>> {
+        if base_len < self.trunc || base_len > self.total_len() {
+            return None;
+        }
+        Some(self.seq[(base_len - self.trunc) as usize..].to_vec())
+    }
+
+    /// Applies a suffix against a base of `base_len` commands; returns the
+    /// number newly appended, or `None` on a gap.
+    pub fn apply_suffix(&mut self, base_len: u64, suffix: &[C]) -> Option<u64> {
+        if base_len < self.trunc || base_len > self.total_len() {
+            return None;
+        }
+        let mut appended = 0;
+        for c in suffix {
+            if !self.seq.contains(c) {
+                self.seq.push(c.clone());
+                appended += 1;
+            }
+        }
+        Some(appended)
+    }
+
+    /// Truncates the given stable commands, advancing the watermark; the
+    /// O(n²) transcription of the downward-closed check.
+    pub fn truncate_stable(&mut self, stable: &[C]) -> bool {
+        if stable.is_empty() {
+            return true;
+        }
+        let is_stable: Vec<bool> = self.seq.iter().map(|x| stable.contains(x)).collect();
+        if is_stable.iter().filter(|&&b| b).count() != stable.len() {
+            return false; // missing or duplicated stable command
+        }
+        for (j, x) in self.seq.iter().enumerate() {
+            if !is_stable[j] {
+                continue;
+            }
+            if self.seq[..j]
+                .iter()
+                .enumerate()
+                .any(|(i, y)| !is_stable[i] && y.conflicts(x))
+            {
+                return false; // a kept command is ordered before a removed one
+            }
+        }
+        self.seq = self
+            .seq
+            .iter()
+            .zip(&is_stable)
+            .filter(|(_, &s)| !s)
+            .map(|(x, _)| x.clone())
+            .collect();
+        self.trunc += stable.len() as u64;
+        true
+    }
+
+    /// The next stable segment: a prefix of the live sequence.
+    pub fn stable_segment(&self, from: u64, max: usize) -> Option<Vec<C>> {
+        if from != self.trunc {
+            return None;
+        }
+        let k = max.min(self.seq.len());
+        if k == 0 {
+            return None;
+        }
+        Some(self.seq[..k].to_vec())
+    }
+
     /// The paper's `Prefix(H, I)` operator: the glb of two histories.
     pub fn glb(&self, other: &Self) -> Self {
+        assert_eq!(self.trunc, other.trunc, "oracle glb across watermarks");
         let mut h = self.seq.to_vec();
         let mut i = other.seq.to_vec();
         let mut out = Vec::new();
@@ -132,11 +222,15 @@ impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
                 }
             }
         }
-        RefCommandHistory { seq: out }
+        self.with_seq(out)
     }
 
     /// The paper's `AreCompatible(H, I, A)` operator.
     pub fn compatible(&self, other: &Self) -> bool {
+        assert_eq!(
+            self.trunc, other.trunc,
+            "oracle compatible across watermarks"
+        );
         let mut h = self.seq.to_vec();
         let mut i = other.seq.to_vec();
         let mut skipped: Vec<C> = Vec::new(); // the accumulator A
@@ -159,6 +253,13 @@ impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
         true
     }
 
+    fn with_seq(&self, seq: Vec<C>) -> Self {
+        RefCommandHistory {
+            trunc: self.trunc,
+            seq,
+        }
+    }
+
     /// The paper's lub of two *compatible* histories, or `None`: `self`'s
     /// sequence followed by the commands of `other` not in it, in
     /// `other`'s order.
@@ -172,11 +273,12 @@ impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
                 out.push(x.clone());
             }
         }
-        Some(RefCommandHistory { seq: out })
+        Some(self.with_seq(out))
     }
 
     /// The extension relation `self ⊑ other`.
     pub fn le(&self, other: &Self) -> bool {
+        assert_eq!(self.trunc, other.trunc, "oracle le across watermarks");
         // self ⊑ other iff other = self • σ for some σ, i.e.:
         // (1) every command of self occurs in other;
         // (2) conflicting pairs within self keep their orientation in other;
@@ -218,6 +320,7 @@ impl<C: Conflict + Eq + Clone> RefCommandHistory<C> {
 impl<C: Conflict + Eq + Clone> PartialEq for RefCommandHistory<C> {
     /// Poset equality, by the O(n²) pairwise check of the seed.
     fn eq(&self, other: &Self) -> bool {
+        assert_eq!(self.trunc, other.trunc, "oracle eq across watermarks");
         if self.seq.len() != other.seq.len() {
             return false;
         }

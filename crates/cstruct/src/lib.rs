@@ -54,4 +54,4 @@ pub use cmdset::CmdSet;
 pub use history::{CommandHistory, Conflict, ConflictKeys};
 pub use history_ref::RefCommandHistory;
 pub use single::SingleDecree;
-pub use traits::{compatible_all, glb_all, glb_all_ref, lub_all, CStruct, Command};
+pub use traits::{compatible_all, glb_all, glb_all_ref, lub_all, CStruct, Command, SuffixGap};

@@ -16,6 +16,20 @@ pub trait Command: Clone + Eq + Hash + fmt::Debug + Wire + Send + 'static {}
 
 impl<T: Clone + Eq + Hash + fmt::Debug + Wire + Send + 'static> Command for T {}
 
+/// Error returned by [`CStruct::apply_suffix`] when the receiver's copy
+/// does not reach the suffix's base — the sender must fall back to
+/// shipping the full value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuffixGap;
+
+impl fmt::Display for SuffixGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "suffix base not covered by the local value")
+    }
+}
+
+impl std::error::Error for SuffixGap {}
+
 /// A command structure set, in the sense of Lamport's CS0–CS4 axioms
 /// (reproduced in §2.3.1 of the Multicoordinated Paxos paper).
 ///
@@ -39,6 +53,22 @@ pub trait CStruct: Clone + Eq + fmt::Debug + Wire + Send + 'static {
 
     /// The bottom element `⊥`: the c-struct constructible from no commands.
     fn bottom() -> Self;
+
+    /// An empty value that *extends a truncated stable prefix* of
+    /// `watermark` commands — what a checkpoint-restored learner resumes
+    /// from. Only meaningful for compactable representations; the default
+    /// supports watermark 0 only.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics for a non-zero watermark.
+    fn bottom_at(watermark: u64) -> Self {
+        assert_eq!(
+            watermark, 0,
+            "this c-struct representation does not support compaction"
+        );
+        Self::bottom()
+    }
 
     /// Appends a command in place: `self := self • cmd`.
     fn append(&mut self, cmd: Self::Cmd);
@@ -87,6 +117,70 @@ pub trait CStruct: Clone + Eq + fmt::Debug + Wire + Send + 'static {
     /// Whether this c-struct equals `⊥`.
     fn is_bottom(&self) -> bool {
         *self == Self::bottom()
+    }
+
+    // ----- delta shipping and stable-prefix compaction --------------------
+    //
+    // A c-struct that grows append-only in its representation can ship
+    // *suffixes* instead of whole values, and can *truncate* a prefix that
+    // the deployment has agreed is stable, bounding both wire bytes and
+    // memory. The defaults implement "no delta support": senders fall back
+    // to full values and compaction never advances, which is exactly the
+    // behaviour of c-structs without a stable sequence representation
+    // (sets, single decrees).
+
+    /// Commands truncated below the stable watermark (0 when the value has
+    /// never been compacted). The value logically equals the truncated
+    /// stable prefix followed by its live representation.
+    fn watermark(&self) -> u64 {
+        0
+    }
+
+    /// Logical command count including the truncated stable prefix.
+    fn total_len(&self) -> u64 {
+        self.count() as u64
+    }
+
+    /// The commands at logical positions `base_len..total_len()`, if this
+    /// c-struct has a stable sequence representation reaching back to
+    /// `base_len`; `None` when a delta cannot be produced (unsupported
+    /// representation, or `base_len` below the watermark).
+    fn suffix_from(&self, base_len: u64) -> Option<Vec<Self::Cmd>> {
+        let _ = base_len;
+        None
+    }
+
+    /// Applies a suffix produced by [`CStruct::suffix_from`] against a
+    /// base of length `base_len`, returning how many commands were newly
+    /// appended (duplicates are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SuffixGap`] when this value does not cover `base_len`
+    /// (it is shorter than the base, or has truncated past it) — the
+    /// caller must request a full resync.
+    fn apply_suffix(&mut self, base_len: u64, suffix: &[Self::Cmd]) -> Result<u64, SuffixGap> {
+        let _ = (base_len, suffix);
+        Err(SuffixGap)
+    }
+
+    /// Truncates the given stable commands out of the live representation,
+    /// advancing the watermark by `stable.len()`. Returns `false` (and
+    /// changes nothing) when the truncation does not apply: a command is
+    /// missing, removal would break the partial order, or the
+    /// representation does not support compaction.
+    fn truncate_stable(&mut self, stable: &[Self::Cmd]) -> bool {
+        let _ = stable;
+        false
+    }
+
+    /// The next stable segment this value can vouch for: up to `max`
+    /// commands starting at logical position `from`, or `None` when
+    /// `from` is not this value's watermark or the representation does
+    /// not support compaction. Used by learners to propose watermarks.
+    fn stable_segment(&self, from: u64, max: usize) -> Option<Vec<Self::Cmd>> {
+        let _ = (from, max);
+        None
     }
 }
 

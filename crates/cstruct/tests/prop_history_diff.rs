@@ -266,4 +266,139 @@ proptest! {
             mcpaxos_actor::wire::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back.as_slice(), bulk.as_slice());
     }
+
+    /// Delta shipping: a full value equals its base plus the shipped
+    /// suffix (`full ≡ base • suffix_from(|base|)`), identically for the
+    /// indexed implementation and the oracle, including overlapping
+    /// (duplicated-delivery) applications.
+    #[test]
+    fn suffix_from_apply_suffix_match_reference(
+        cmds in prop::collection::vec(key_cmd(), 0..16),
+        cut in 0usize..17,
+        overlap in 0u64..4,
+    ) {
+        let full: CommandHistory<KeyCmd> = cmds.iter().cloned().collect();
+        let rfull: RefCommandHistory<KeyCmd> = cmds.iter().cloned().collect();
+        let n = full.as_slice().len();
+        let p = cut.min(n) as u64;
+
+        let suffix = full.suffix_from(p).expect("split point in range");
+        let rsuffix = rfull.suffix_from(p).expect("split point in range");
+        prop_assert_eq!(&suffix, &rsuffix, "suffix_from diverged");
+
+        // Rebuild the full value from the base + suffix.
+        let mut base: CommandHistory<KeyCmd> =
+            full.as_slice()[..p as usize].iter().cloned().collect();
+        let mut rbase: RefCommandHistory<KeyCmd> =
+            full.as_slice()[..p as usize].iter().cloned().collect();
+        let appended = base.apply_suffix(p, &suffix).expect("base covers split");
+        let rappended = rbase.apply_suffix(p, &rsuffix).expect("base covers split");
+        prop_assert_eq!(appended, rappended, "apply_suffix count diverged");
+        prop_assert_eq!(base.as_slice(), full.as_slice(), "full != base + suffix");
+        prop_assert_eq!(rbase.as_slice(), rfull.as_slice());
+
+        // Overlapping re-application (a duplicated delta) is a no-op.
+        let p2 = p.saturating_sub(overlap);
+        let suffix2 = full.suffix_from(p2).expect("in range");
+        prop_assert_eq!(base.apply_suffix(p2, &suffix2), Ok(0), "overlap re-added");
+        prop_assert_eq!(base.as_slice(), full.as_slice());
+
+        // Past-the-end bases are gaps, for both implementations.
+        let beyond = full.total_len() + 1;
+        prop_assert!(base.apply_suffix(beyond, &suffix).is_err());
+        prop_assert!(rbase.apply_suffix(beyond, &rsuffix).is_none());
+        prop_assert!(full.suffix_from(beyond).is_none());
+        prop_assert!(rfull.suffix_from(beyond).is_none());
+    }
+
+    /// Compaction: truncating a stable segment (a prefix of the pairwise
+    /// glb — downward-closed in both operands by construction) agrees
+    /// with the oracle, and every operator on the compacted pair gives
+    /// the same answer as on the uncompacted pair above the watermark.
+    #[test]
+    fn truncation_matches_reference_and_preserves_operators(
+        a in prop::collection::vec(key_cmd(), 0..12),
+        b in prop::collection::vec(key_cmd(), 0..12),
+        shared in prop::collection::vec(key_cmd(), 0..8),
+        cut in 0usize..9,
+    ) {
+        let a_cmds: Vec<KeyCmd> = shared.iter().cloned().chain(a).collect();
+        let b_cmds: Vec<KeyCmd> = shared.into_iter().chain(b).collect();
+        let ia: CommandHistory<KeyCmd> = a_cmds.iter().cloned().collect();
+        let ib: CommandHistory<KeyCmd> = b_cmds.iter().cloned().collect();
+        let ra: RefCommandHistory<KeyCmd> = a_cmds.iter().cloned().collect();
+        let rb: RefCommandHistory<KeyCmd> = b_cmds.iter().cloned().collect();
+
+        // A stable segment: some prefix of the glb's representing
+        // sequence (what the deployment's designated learner gossips).
+        let glb = ia.glb(&ib);
+        let k = cut.min(glb.as_slice().len());
+        let seg: Vec<KeyCmd> = glb.as_slice()[..k].to_vec();
+
+        let (mut ta, mut tb, mut sa, mut sb) =
+            (ia.clone(), ib.clone(), ra.clone(), rb.clone());
+        prop_assert!(ta.truncate_stable(&seg), "indexed truncate A failed");
+        prop_assert!(tb.truncate_stable(&seg), "indexed truncate B failed");
+        prop_assert!(sa.truncate_stable(&seg), "oracle truncate A failed");
+        prop_assert!(sb.truncate_stable(&seg), "oracle truncate B failed");
+        prop_assert_eq!(ta.as_slice(), sa.as_slice(), "truncated A diverged");
+        prop_assert_eq!(tb.as_slice(), sb.as_slice(), "truncated B diverged");
+        prop_assert_eq!(ta.watermark(), k as u64);
+        prop_assert_eq!(ta.total_len(), ia.total_len());
+
+        // Compacted ≡ uncompacted above the watermark: relations are
+        // unchanged, lattice results equal the uncompacted results with
+        // the segment removed.
+        prop_assert_eq!(ta.le(&tb), ia.le(&ib), "le changed by truncation");
+        prop_assert_eq!(tb.le(&ta), ib.le(&ia));
+        prop_assert_eq!(ta == tb, ia == ib, "eq changed by truncation");
+        prop_assert_eq!(
+            ta.compatible(&tb),
+            ia.compatible(&ib),
+            "compatible changed by truncation"
+        );
+        let strip = |cmds: Vec<KeyCmd>| -> Vec<KeyCmd> {
+            cmds.into_iter().filter(|c| !seg.contains(c)).collect()
+        };
+        prop_assert_eq!(
+            ta.glb(&tb).commands(),
+            strip(ia.glb(&ib).commands()),
+            "glb changed by truncation"
+        );
+        prop_assert_eq!(
+            ta.lub(&tb).map(|l| l.commands()),
+            ia.lub(&ib).map(|l| strip(l.commands())),
+            "lub changed by truncation"
+        );
+
+        // The oracle agrees on the truncated pair's operators too.
+        prop_assert_eq!(ta.le(&tb), sa.le(&sb));
+        prop_assert_eq!(ta.compatible(&tb), sa.compatible(&sb));
+        prop_assert_eq!(ta.glb(&tb).commands(), sa.glb(&sb).commands());
+        prop_assert_eq!(
+            ta.lub(&tb).map(|l| l.commands()),
+            sa.lub(&sb).map(|l| l.commands())
+        );
+
+        // Strictness agrees: truncating the tail command alone succeeds
+        // iff it has no live conflict predecessor (downward-closedness),
+        // identically in both implementations; on failure nothing moves.
+        if let Some(last) = ta.as_slice().last().cloned() {
+            let victim = [last];
+            let (mut ca, mut cs) = (ta.clone(), sa.clone());
+            let may = ca.truncate_stable(&victim);
+            let smay = cs.truncate_stable(&victim);
+            prop_assert_eq!(may, smay, "strictness diverged");
+            prop_assert_eq!(ca.as_slice(), cs.as_slice());
+            if !may {
+                prop_assert_eq!(ca.as_slice(), ta.as_slice(), "failed truncate mutated");
+            }
+        }
+
+        // Wire round-trip preserves the watermark.
+        let bytes = mcpaxos_actor::wire::to_bytes(&ta);
+        let back: CommandHistory<KeyCmd> = mcpaxos_actor::wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.watermark(), ta.watermark());
+        prop_assert_eq!(back.as_slice(), ta.as_slice());
+    }
 }

@@ -1,6 +1,6 @@
 //! Append-only delivery of a learner's growing command history.
 
-use mcpaxos_cstruct::{Command, CommandHistory, Conflict};
+use mcpaxos_cstruct::{CStruct, Command, CommandHistory, Conflict};
 
 /// Tracks how much of a learner's history has been handed to the
 /// application, delivering each command exactly once, in a linear
@@ -8,35 +8,188 @@ use mcpaxos_cstruct::{Command, CommandHistory, Conflict};
 ///
 /// A learner's `learned` history grows append-only in its sequence
 /// representation (it only changes through lubs, which preserve the
-/// receiver's prefix), so delivery is a simple cursor — this type also
-/// *verifies* that invariant and panics on violation, making it a live
-/// stability checker.
+/// receiver's prefix), so delivery is a cursor over *logical* positions —
+/// this type also *verifies* that invariant and panics on violation,
+/// making it a live stability checker.
+///
+/// The cursor counts logical positions (`CommandHistory::total_len`), so
+/// it survives stable-prefix compaction: a history that truncates an
+/// already-delivered prefix out of its live window leaves the cursor
+/// untouched. Truncating *past* the cursor is a gap — the commands can
+/// never be delivered — and panics; replicas avoid it by draining before
+/// their learner applies a stable segment, and a restarted replica
+/// resumes from a checkpoint via [`Delivery::resume_at`].
 #[derive(Clone, Debug, Default)]
 pub struct Delivery<C> {
-    delivered: Vec<C>,
+    /// Logical position of the next command to deliver.
+    offset: u64,
+    /// Logical position this cursor started at (checkpoint watermark).
+    start: u64,
+    /// Largest `total_len` observed so far — the stability (no-shrink)
+    /// baseline. Starts at 0 even after a resume: a restored replica's
+    /// fresh learner legitimately re-learns from ⊥ and delivery simply
+    /// waits until it passes the cursor.
+    seen: u64,
+    /// Commands delivered by this cursor, in delivery order; doubles as
+    /// the verification window for the stability check. Disabled (kept
+    /// empty) in bounded-memory deployments.
+    log: Vec<C>,
+    keep_log: bool,
+    /// Commands at logical positions above `start` that were already
+    /// applied *before* a restart (a checkpoint's tail). Logical
+    /// positions only identify commands within one learner's value — a
+    /// re-learning learner may order commuting commands of this window
+    /// differently — so the restored cursor skips them by *membership*,
+    /// not by position.
+    skip: Vec<C>,
 }
 
 impl<C: Command + Conflict> Delivery<C> {
     /// Creates an empty delivery cursor.
     pub fn new() -> Self {
         Delivery {
-            delivered: Vec::new(),
+            offset: 0,
+            start: 0,
+            seen: 0,
+            log: Vec::new(),
+            keep_log: true,
+            skip: Vec::new(),
         }
     }
 
-    /// Commands delivered so far, in delivery order.
-    pub fn delivered(&self) -> &[C] {
-        &self.delivered
+    /// A cursor resuming at logical position `offset` (a checkpoint's
+    /// watermark): positions below it count as already delivered.
+    pub fn resume_at(offset: u64) -> Self {
+        Delivery {
+            offset,
+            start: offset,
+            seen: 0,
+            log: Vec::new(),
+            keep_log: true,
+            skip: Vec::new(),
+        }
     }
 
-    /// Number of commands delivered so far.
+    /// A cursor resuming at a checkpoint: everything below `watermark`
+    /// counts as delivered, and the `applied_tail` commands (applied
+    /// above the watermark before the restart) are skipped *by
+    /// membership* when they reappear — the re-learning learner may
+    /// order commuting commands of that window differently, so positions
+    /// alone cannot identify them. Restored cursors retain no log.
+    pub fn resume_skip(watermark: u64, applied_tail: Vec<C>) -> Self {
+        Delivery {
+            offset: watermark,
+            start: watermark,
+            seen: 0,
+            log: Vec::new(),
+            keep_log: false,
+            skip: applied_tail,
+        }
+    }
+
+    /// Stops retaining delivered commands (bounded-memory mode): the
+    /// stability check still verifies positions, [`Delivery::delivered`]
+    /// returns the empty slice.
+    pub fn disable_log(&mut self) {
+        self.keep_log = false;
+        self.log = Vec::new();
+    }
+
+    /// Commands delivered by this cursor so far, in delivery order (empty
+    /// when the log is disabled).
+    pub fn delivered(&self) -> &[C] {
+        &self.log
+    }
+
+    /// Number of commands whose effects the consumer has seen, including
+    /// those before a resume and a restored checkpoint's not-yet-passed
+    /// tail.
     pub fn len(&self) -> usize {
-        self.delivered.len()
+        self.offset as usize + self.skip.len()
+    }
+
+    /// Logical position of the next command to deliver.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Commands from a restored checkpoint's tail that the cursor has not
+    /// passed again yet.
+    pub fn pending_skip(&self) -> usize {
+        self.skip.len()
+    }
+
+    /// The not-yet-passed checkpoint-tail commands themselves (for
+    /// re-checkpointing while still catching up).
+    pub fn skip_commands(&self) -> &[C] {
+        &self.skip
     }
 
     /// Whether nothing has been delivered yet.
     pub fn is_empty(&self) -> bool {
-        self.delivered.is_empty()
+        self.offset == 0
+    }
+
+    /// Absorbs the learner's current history, handing each not-yet
+    /// delivered command to `apply` in delivery order — the clone-free
+    /// hot path ([`Delivery::absorb`] wraps it when owned commands are
+    /// wanted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learned` is not an extension of what was previously
+    /// absorbed (shrunk, reordered below the cursor, or truncated past
+    /// it) — a stability violation by the protocol, or a replica lagging
+    /// past the deployment's compaction window (restore from a
+    /// checkpoint).
+    pub fn absorb_with(&mut self, learned: &CommandHistory<C>, mut apply: impl FnMut(&C)) {
+        let wm = learned.watermark();
+        let total = learned.total_len();
+        assert!(
+            total >= self.seen,
+            "STABILITY violated: learned history shrank ({} < {})",
+            total,
+            self.seen
+        );
+        self.seen = total;
+        assert!(
+            wm <= self.offset,
+            "learned history truncated past the delivery cursor ({} > {}): \
+             this replica must catch up from a checkpoint",
+            wm,
+            self.offset
+        );
+        let seq = learned.as_slice();
+        // Verify the still-visible, already-delivered overlap against our
+        // log: the delivered prefix must not have changed. (A learner that
+        // is itself catching up — total below the cursor after a restore —
+        // is checked only as far as it reaches.)
+        let check_from = wm.max(self.start);
+        for i in check_from..self.offset.min(total) {
+            if let Some(ours) = self.log.get((i - self.start) as usize) {
+                let theirs = &seq[(i - wm) as usize];
+                assert!(
+                    theirs == ours,
+                    "STABILITY violated: delivered prefix changed at {i}: {ours:?} vs {theirs:?}"
+                );
+            }
+        }
+        for i in self.offset..total {
+            let c = &seq[(i - wm) as usize];
+            if let Some(pos) = self.skip.iter().position(|s| s == c) {
+                // Applied before the restart (checkpoint tail): pass
+                // without re-applying.
+                self.skip.swap_remove(pos);
+                continue;
+            }
+            apply(c);
+            if self.keep_log {
+                self.log.push(c.clone());
+            }
+        }
+        // A learner still below the cursor (catching up after a restore)
+        // moves nothing.
+        self.offset = self.offset.max(total);
     }
 
     /// Absorbs the learner's current history, returning the commands not
@@ -44,25 +197,10 @@ impl<C: Command + Conflict> Delivery<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `learned` is not an extension of what was previously
-    /// absorbed — that would be a stability violation by the protocol.
+    /// As [`Delivery::absorb_with`].
     pub fn absorb(&mut self, learned: &CommandHistory<C>) -> Vec<C> {
-        let seq = learned.as_slice();
-        assert!(
-            seq.len() >= self.delivered.len(),
-            "STABILITY violated: learned history shrank ({} < {})",
-            seq.len(),
-            self.delivered.len()
-        );
-        for (i, c) in self.delivered.iter().enumerate() {
-            assert!(
-                &seq[i] == c,
-                "STABILITY violated: delivered prefix changed at {i}: {c:?} vs {:?}",
-                seq[i]
-            );
-        }
-        let new: Vec<C> = seq[self.delivered.len()..].to_vec();
-        self.delivered.extend(new.iter().cloned());
+        let mut new = Vec::new();
+        self.absorb_with(learned, |c| new.push(c.clone()));
         new
     }
 }
@@ -120,5 +258,81 @@ mod tests {
         let mut d = Delivery::new();
         d.absorb(&h(&[K(1, 0), K(1, 1)]));
         d.absorb(&h(&[K(1, 1), K(1, 0)]));
+    }
+
+    #[test]
+    fn cursor_survives_truncation() {
+        let mut d = Delivery::new();
+        let cmds: Vec<K> = (0..6).map(|i| K(i % 3, i)).collect();
+        let mut hist = h(&cmds);
+        assert_eq!(d.absorb(&hist).len(), 6);
+        // Truncate the first four commands out of the live window: the
+        // cursor (at 6) is unaffected and new commands still deliver.
+        assert!(hist.truncate_stable(&cmds[..4]));
+        assert!(d.absorb(&hist).is_empty());
+        hist.append(K(0, 9));
+        assert_eq!(d.absorb(&hist), vec![K(0, 9)]);
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint")]
+    fn truncation_past_cursor_panics() {
+        let mut d = Delivery::new();
+        let cmds: Vec<K> = (0..4).map(|i| K(i % 3, i)).collect();
+        let mut hist = h(&cmds[..2]);
+        d.absorb(&hist);
+        // The history stabilizes and truncates commands the cursor never
+        // delivered: an unrecoverable gap for this replica.
+        hist.append(cmds[2].clone());
+        hist.append(cmds[3].clone());
+        assert!(hist.truncate_stable(&cmds[..3]));
+        d.absorb(&hist);
+    }
+
+    #[test]
+    fn resume_at_skips_checkpointed_prefix() {
+        let cmds: Vec<K> = (0..5).map(|i| K(i % 2, i)).collect();
+        let mut hist = h(&cmds);
+        assert!(hist.truncate_stable(&cmds[..3]));
+        let mut d = Delivery::resume_at(3);
+        assert_eq!(d.absorb(&hist), vec![cmds[3].clone(), cmds[4].clone()]);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.delivered().len(), 2, "log counts post-resume only");
+    }
+
+    #[test]
+    fn resume_skip_tolerates_reordered_commuting_window() {
+        // Before the crash the cursor applied [a, b] above watermark 1
+        // (b commutes with a). The re-learning learner orders the same
+        // window [b, a] — positions alone would double-apply a and skip
+        // b; membership skipping applies neither, then delivers only the
+        // genuinely new command.
+        let w = K(0, 0); // the truncated stable prefix
+        let a = K(1, 0);
+        let b = K(2, 0); // different key: commutes with a
+        let mut d = Delivery::resume_skip(1, vec![a.clone(), b.clone()]);
+        assert_eq!(d.len(), 3, "machine reflects watermark + tail");
+
+        let mut relearned = h(&[w.clone(), b.clone(), a.clone()]);
+        assert!(relearned.truncate_stable(std::slice::from_ref(&w)));
+        assert!(d.absorb(&relearned).is_empty(), "tail must not re-apply");
+        assert_eq!(d.pending_skip(), 0);
+
+        relearned.append(K(1, 9));
+        assert_eq!(d.absorb(&relearned), vec![K(1, 9)]);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn disabled_log_still_verifies_positions() {
+        let mut d = Delivery::new();
+        d.disable_log();
+        let h1 = h(&[K(1, 0), K(2, 0)]);
+        let mut seen = 0;
+        d.absorb_with(&h1, |_| seen += 1);
+        assert_eq!(seen, 2);
+        assert!(d.delivered().is_empty());
+        assert_eq!(d.len(), 2);
     }
 }

@@ -86,12 +86,24 @@ enum Event<M> {
 
 type Registry<M> = Arc<RwLock<HashMap<ProcessId, Sender<Event<M>>>>>;
 
+/// Sizes a message for live wire accounting: returns a static tag and the
+/// serialized byte size. Shared by every process thread.
+pub type LiveByteMeter<M> = Arc<dyn Fn(&M) -> (&'static str, u64) + Send + Sync>;
+
+/// Metric name for cumulative serialized bytes handed to the transport
+/// (recorded per sending process when a byte meter is installed).
+pub const METRIC_WIRE_BYTES: &str = "wire_bytes";
+/// Metric name for messages handed to the transport under byte
+/// accounting.
+pub const METRIC_WIRE_MSGS: &str = "wire_msgs";
+
 /// A live cluster of actor threads.
 pub struct Cluster<M> {
     registry: Registry<M>,
     metrics: Arc<Mutex<Metrics>>,
     start: Instant,
     handles: Vec<(ProcessId, JoinHandle<SendActor<M>>)>,
+    byte_meter: Option<LiveByteMeter<M>>,
 }
 
 impl<M: Send + 'static> Cluster<M> {
@@ -102,7 +114,16 @@ impl<M: Send + 'static> Cluster<M> {
             metrics: Arc::new(Mutex::new(Metrics::new())),
             start: Instant::now(),
             handles: Vec::new(),
+            byte_meter: None,
         }
+    }
+
+    /// Installs a byte meter: every message a process sends from now on
+    /// is sized and recorded as the [`METRIC_WIRE_BYTES`] /
+    /// [`METRIC_WIRE_MSGS`] metrics of the sender. Install *before*
+    /// spawning the processes whose traffic should be measured.
+    pub fn set_byte_meter(&mut self, meter: LiveByteMeter<M>) {
+        self.byte_meter = Some(meter);
     }
 
     /// Spawns `actor` as process `pid` on its own thread.
@@ -119,9 +140,10 @@ impl<M: Send + 'static> Cluster<M> {
         let registry = self.registry.clone();
         let metrics = self.metrics.clone();
         let start = self.start;
+        let meter = self.byte_meter.clone();
         let handle = std::thread::Builder::new()
             .name(format!("mcpaxos-{pid}"))
-            .spawn(move || run_process(pid, actor, rx, registry, metrics, start))
+            .spawn(move || run_process(pid, actor, rx, registry, metrics, start, meter))
             .expect("spawn thread");
         self.handles.push((pid, handle));
     }
@@ -168,6 +190,7 @@ impl<M: Send + 'static> Default for Cluster<M> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_process<M: Send + 'static>(
     pid: ProcessId,
     mut actor: SendActor<M>,
@@ -175,6 +198,7 @@ fn run_process<M: Send + 'static>(
     registry: Registry<M>,
     metrics: Arc<Mutex<Metrics>>,
     start: Instant,
+    meter: Option<LiveByteMeter<M>>,
 ) -> SendActor<M> {
     let mut storage = MemStore::new();
     let mut timers: BTreeMap<TimerToken, Instant> = BTreeMap::new();
@@ -192,7 +216,7 @@ fn run_process<M: Send + 'static>(
             };
             #[allow(clippy::redundant_closure_call)]
             ($body)(&mut ctx);
-            apply_effects(pid, &mut fx, &registry, &metrics, &mut timers);
+            apply_effects(pid, &mut fx, &registry, &metrics, &mut timers, &meter);
         }};
     }
 
@@ -251,6 +275,7 @@ fn apply_effects<M: Send + 'static>(
     registry: &Registry<M>,
     metrics: &Arc<Mutex<Metrics>>,
     timers: &mut BTreeMap<TimerToken, Instant>,
+    meter: &Option<LiveByteMeter<M>>,
 ) {
     if !fx.metrics.is_empty() {
         let mut m = metrics.lock();
@@ -266,6 +291,17 @@ fn apply_effects<M: Send + 'static>(
         timers.insert(token, now + Duration::from_millis(after.ticks()));
     }
     if !fx.sends.is_empty() {
+        // Wire accounting at hand-off to the transport, mirroring the
+        // simulator's per-send byte metering.
+        if let Some(meter) = meter {
+            let mut total = 0u64;
+            for (_, msg) in fx.sends.iter() {
+                total += meter(msg).1;
+            }
+            let mut m = metrics.lock();
+            m.record(pid, Metric::add(METRIC_WIRE_BYTES, total as i64));
+            m.record(pid, Metric::add(METRIC_WIRE_MSGS, fx.sends.len() as i64));
+        }
         let reg = registry.read();
         for (to, msg) in fx.sends.drain(..) {
             if let Some(tx) = reg.get(&to) {

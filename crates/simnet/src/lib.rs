@@ -41,5 +41,5 @@ mod sim;
 mod trace;
 
 pub use config::{DelayDist, NetConfig};
-pub use sim::{ProcessStats, Sim};
+pub use sim::{ByteMeter, ProcessStats, Sim, WireTotal};
 pub use trace::{TraceEntry, TraceKind};

@@ -23,7 +23,23 @@ pub struct ProcessStats {
     pub delivered: u64,
     /// Timer upcalls executed at this process.
     pub timers_fired: u64,
+    /// Serialized bytes this process handed to the network (0 unless
+    /// byte accounting is enabled).
+    pub bytes_sent: u64,
 }
+
+/// Cumulative wire accounting for one message tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireTotal {
+    /// Messages handed to the network.
+    pub count: u64,
+    /// Their cumulative serialized size in bytes.
+    pub bytes: u64,
+}
+
+/// Classifies and sizes a message for wire accounting: returns a static
+/// tag (e.g. the protocol message kind) and the serialized byte size.
+pub type ByteMeter<M> = Box<dyn Fn(&M) -> (&'static str, u64)>;
 
 enum Event<M> {
     Deliver {
@@ -102,6 +118,8 @@ pub struct Sim<M> {
     trace: Vec<TraceEntry>,
     trace_cap: usize,
     events_processed: u64,
+    byte_meter: Option<ByteMeter<M>>,
+    wire: BTreeMap<&'static str, WireTotal>,
 }
 
 impl<M: Clone + Debug + 'static> Sim<M> {
@@ -119,6 +137,8 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             trace: Vec::new(),
             trace_cap: 0,
             events_processed: 0,
+            byte_meter: None,
+            wire: BTreeMap::new(),
         }
     }
 
@@ -314,6 +334,25 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         &self.trace
     }
 
+    /// Enables per-message byte accounting: every message handed to the
+    /// network is classified and sized by `meter`, feeding per-tag
+    /// [`Sim::wire_totals`], per-process [`ProcessStats::bytes_sent`] and
+    /// the `bytes` field of trace entries.
+    pub fn enable_byte_meter(&mut self, meter: ByteMeter<M>) {
+        self.byte_meter = Some(meter);
+    }
+
+    /// Cumulative wire accounting per message tag (empty unless a byte
+    /// meter is enabled).
+    pub fn wire_totals(&self) -> &BTreeMap<&'static str, WireTotal> {
+        &self.wire
+    }
+
+    /// Cumulative wire accounting for one tag.
+    pub fn wire_total(&self, tag: &str) -> WireTotal {
+        self.wire.get(tag).copied().unwrap_or_default()
+    }
+
     // ----- internals ------------------------------------------------------
 
     fn schedule(&mut self, at: SimTime, event: Event<M>) {
@@ -328,6 +367,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         process: ProcessId,
         from: Option<ProcessId>,
         detail: String,
+        bytes: u64,
     ) {
         if self.trace_cap == 0 || self.trace.len() >= self.trace_cap {
             return;
@@ -338,7 +378,18 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             process,
             from,
             detail,
+            bytes,
         });
+    }
+
+    /// Sizes `msg` for a trace entry: only when both tracing and byte
+    /// accounting are active (metering is pure, so re-invoking it here is
+    /// just a second measurement).
+    fn trace_bytes(&self, msg: &M) -> u64 {
+        if self.trace_cap == 0 || self.trace.len() >= self.trace_cap {
+            return 0;
+        }
+        self.byte_meter.as_ref().map(|m| m(msg).1).unwrap_or(0)
     }
 
     fn is_blocked(&self, a: ProcessId, b: ProcessId) -> bool {
@@ -351,11 +402,18 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         match event {
             Event::Deliver { to, from, msg } => {
                 let up = self.procs.get(&to).map(|n| n.up).unwrap_or(false);
+                let bytes = self.trace_bytes(&msg);
                 if !up || self.is_blocked(from, to) {
-                    self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+                    self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"), bytes);
                     return;
                 }
-                self.record(TraceKind::Deliver, to, Some(from), format!("{msg:?}"));
+                self.record(
+                    TraceKind::Deliver,
+                    to,
+                    Some(from),
+                    format!("{msg:?}"),
+                    bytes,
+                );
                 if let Some(n) = self.procs.get_mut(&to) {
                     n.stats.delivered += 1;
                 }
@@ -374,7 +432,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                     n.timers.remove(&token);
                     n.stats.timers_fired += 1;
                 }
-                self.record(TraceKind::Timer, at, None, format!("{token:?}"));
+                self.record(TraceKind::Timer, at, None, format!("{token:?}"), 0);
                 self.upcall(at, UpKind::Timer(token));
             }
             Event::Crash(p) => {
@@ -383,7 +441,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                         n.up = false;
                         n.actor = None;
                         n.timers.clear();
-                        self.record(TraceKind::Crash, p, None, String::new());
+                        self.record(TraceKind::Crash, p, None, String::new(), 0);
                     }
                 }
             }
@@ -393,7 +451,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                     let node = self.procs.get_mut(&p).expect("checked above");
                     node.actor = Some((node.factory)());
                     node.up = true;
-                    self.record(TraceKind::Recover, p, None, String::new());
+                    self.record(TraceKind::Recover, p, None, String::new(), 0);
                     self.upcall(p, UpKind::Recover);
                 }
             }
@@ -473,15 +531,40 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     }
 
     fn transmit(&mut self, from: ProcessId, to: ProcessId, msg: M, base: SimTime) {
+        // Wire accounting happens at hand-off to the network: lost
+        // messages cost the sender bytes too, duplicates injected by the
+        // network do not.
+        let metered = self.byte_meter.as_ref().map(|m| m(&msg));
+        if let Some((tag, bytes)) = metered {
+            let t = self.wire.entry(tag).or_default();
+            t.count += 1;
+            t.bytes += bytes;
+        }
         if let Some(n) = self.procs.get_mut(&from) {
             n.stats.sent += 1;
+            if let Some((_, bytes)) = metered {
+                n.stats.bytes_sent += bytes;
+            }
         }
+        let trace_bytes = metered.map(|(_, b)| b).unwrap_or(0);
         if self.is_blocked(from, to) {
-            self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+            self.record(
+                TraceKind::Drop,
+                to,
+                Some(from),
+                format!("{msg:?}"),
+                trace_bytes,
+            );
             return;
         }
         if self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss) {
-            self.record(TraceKind::Drop, to, Some(from), format!("{msg:?}"));
+            self.record(
+                TraceKind::Drop,
+                to,
+                Some(from),
+                format!("{msg:?}"),
+                trace_bytes,
+            );
             return;
         }
         let copies = if self.config.duplicate > 0.0 && self.rng.gen_bool(self.config.duplicate) {

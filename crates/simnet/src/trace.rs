@@ -33,26 +33,38 @@ pub struct TraceEntry {
     pub from: Option<ProcessId>,
     /// Rendering of the payload (message debug text or timer token).
     pub detail: String,
+    /// Serialized size of the message, when byte accounting is enabled
+    /// ([`crate::Sim::enable_byte_meter`]); 0 otherwise.
+    pub bytes: u64,
 }
 
 impl TraceEntry {
     /// Compact single-line rendering, convenient for golden-trace tests.
+    /// The byte count is appended only when accounting recorded one, so
+    /// unmetered golden traces are unchanged.
     pub fn render(&self) -> String {
+        let bytes = if self.bytes > 0 {
+            format!(" [{}B]", self.bytes)
+        } else {
+            String::new()
+        };
         match self.from {
             Some(f) => format!(
-                "{} {:?} {}<-{} {}",
+                "{} {:?} {}<-{} {}{}",
                 self.at.ticks(),
                 self.kind,
                 self.process,
                 f,
-                self.detail
+                self.detail,
+                bytes
             ),
             None => format!(
-                "{} {:?} {} {}",
+                "{} {:?} {} {}{}",
                 self.at.ticks(),
                 self.kind,
                 self.process,
-                self.detail
+                self.detail,
+                bytes
             ),
         }
     }
@@ -70,6 +82,7 @@ mod tests {
             process: ProcessId(1),
             from: Some(ProcessId(2)),
             detail: "hello".into(),
+            bytes: 0,
         };
         assert_eq!(e.render(), "5 Deliver p1<-p2 hello");
         let t = TraceEntry {
@@ -78,7 +91,17 @@ mod tests {
             process: ProcessId(3),
             from: None,
             detail: String::new(),
+            bytes: 0,
         };
         assert_eq!(t.render(), "9 Crash p3 ");
+        let m = TraceEntry {
+            at: SimTime(5),
+            kind: TraceKind::Deliver,
+            process: ProcessId(1),
+            from: Some(ProcessId(2)),
+            detail: "hello".into(),
+            bytes: 42,
+        };
+        assert_eq!(m.render(), "5 Deliver p1<-p2 hello [42B]");
     }
 }

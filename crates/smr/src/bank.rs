@@ -181,6 +181,23 @@ impl Bank {
     }
 }
 
+impl Wire for Bank {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let pairs: Vec<(u16, u64)> = self.balances.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.encode(out);
+        self.rejected.encode(out);
+        self.audits.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let pairs: Vec<(u16, u64)> = Wire::decode(input)?;
+        Ok(Bank {
+            balances: pairs.into_iter().collect(),
+            rejected: u64::decode(input)?,
+            audits: u64::decode(input)?,
+        })
+    }
+}
+
 impl StateMachine for Bank {
     type Cmd = BankCmd;
 

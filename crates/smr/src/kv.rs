@@ -115,6 +115,21 @@ impl KvStore {
     }
 }
 
+impl Wire for KvStore {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let pairs: Vec<(u16, u64)> = self.data.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.encode(out);
+        self.applied.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let pairs: Vec<(u16, u64)> = Wire::decode(input)?;
+        Ok(KvStore {
+            data: pairs.into_iter().collect(),
+            applied: u64::decode(input)?,
+        })
+    }
+}
+
 impl StateMachine for KvStore {
     type Cmd = KvCmd;
 

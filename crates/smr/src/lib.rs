@@ -33,7 +33,7 @@ mod workload;
 pub use bank::{Bank, BankCmd, BankOp};
 pub use kv::{KvCmd, KvOp, KvStore};
 pub use machine::StateMachine;
-pub use replica::Replica;
+pub use replica::{Checkpoint, Replica};
 pub use workload::Workload;
 
 /// Globally unique command identifier: `(client, sequence)`.

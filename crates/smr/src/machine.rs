@@ -1,5 +1,6 @@
 //! The deterministic state-machine abstraction.
 
+use mcpaxos_actor::wire::Wire;
 use mcpaxos_cstruct::{Command, Conflict};
 
 /// A deterministic state machine replicated via generic broadcast.
@@ -9,7 +10,11 @@ use mcpaxos_cstruct::{Command, Conflict};
 /// command type's [`Conflict`] relation must order every pair of commands
 /// whose application order affects the final state — that is exactly the
 /// soundness condition connecting the application to the protocol.
-pub trait StateMachine: Default + Clone + std::fmt::Debug + 'static {
+///
+/// Machines are [`Wire`]-serializable so replicas can persist
+/// *checkpoints* (state + delivery watermark) and restart from them
+/// instead of replaying a full — possibly already compacted — history.
+pub trait StateMachine: Default + Clone + std::fmt::Debug + Wire + 'static {
     /// Commands this machine executes.
     type Cmd: Command + Conflict;
 
@@ -36,7 +41,7 @@ mod tests {
     #[test]
     fn apply_all_folds() {
         let mut sm = KvStore::default();
-        let cmds = vec![
+        let cmds = [
             KvCmd {
                 id: CmdId { client: 1, seq: 0 },
                 op: KvOp::Put(1, 10),

@@ -1,6 +1,7 @@
 //! The replica actor: learner + delivery cursor + state machine.
 
 use crate::machine::StateMachine;
+use mcpaxos_actor::wire::{from_bytes, to_bytes, Wire, WireError};
 use mcpaxos_actor::{Actor, Context, ProcessId, TimerToken};
 use mcpaxos_core::{DeployConfig, Learner, Msg};
 use mcpaxos_cstruct::CommandHistory;
@@ -10,26 +11,104 @@ use std::sync::Arc;
 /// Message type flowing through a replica of machine `SM`.
 pub type ReplicaMsg<SM> = Msg<CommandHistory<<SM as StateMachine>::Cmd>>;
 
+/// Storage key for the persisted replica checkpoint.
+const KEY_CKPT: &str = "ckpt";
+
+/// A durable snapshot of a replica: the machine state plus the logical
+/// delivery watermark it reflects.
+///
+/// With stable-prefix compaction the command history below the
+/// deployment's watermark no longer exists anywhere — a restarted or
+/// lagging replica *cannot* replay it. Checkpoints close that gap: the
+/// replica resumes the machine at `applied` and the delivery cursor skips
+/// everything below it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint<SM: StateMachine> {
+    /// Logical position (`total_len`) the machine state reflects.
+    pub applied: u64,
+    /// The learner's stable watermark at checkpoint time: the restored
+    /// learner resumes there (segments below it may no longer be
+    /// retained by any peer).
+    pub watermark: u64,
+    /// The commands applied *above* the watermark, in application order.
+    /// Logical positions only identify commands within one learner's
+    /// value — the re-learning learner may order commuting commands of
+    /// this window differently — so the restored cursor must skip these
+    /// by membership, not by position. Bounded by the compaction cadence.
+    pub tail: Vec<SM::Cmd>,
+    /// The machine state after applying the first `applied` commands.
+    pub machine: SM,
+}
+
+impl<SM: StateMachine + Wire> Wire for Checkpoint<SM> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.applied.encode(out);
+        self.watermark.encode(out);
+        self.tail.encode(out);
+        self.machine.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Checkpoint {
+            applied: u64::decode(input)?,
+            watermark: u64::decode(input)?,
+            tail: Wire::decode(input)?,
+            machine: SM::decode(input)?,
+        })
+    }
+}
+
 /// A replica: plays the learner role and applies newly agreed commands to
 /// its local state machine.
 ///
 /// Register a `Replica` at each process listed in the deployment's
 /// learner role; the embedded [`Learner`] handles the protocol, the
 /// [`Delivery`] cursor guarantees exactly-once, order-respecting
-/// application.
+/// application. When `WireConfig::checkpoint_every` is set, the replica
+/// persists a [`Checkpoint`] every that-many applied commands (and stops
+/// retaining the applied-command log, bounding its memory); `on_recover`
+/// resumes from the latest checkpoint instead of replaying history.
 pub struct Replica<SM: StateMachine> {
+    cfg: Arc<DeployConfig>,
     learner: Learner<CommandHistory<SM::Cmd>>,
     delivery: Delivery<SM::Cmd>,
     machine: SM,
+    last_ckpt: u64,
 }
 
 impl<SM: StateMachine> Replica<SM> {
     /// Creates a replica for the given deployment.
     pub fn new(cfg: Arc<DeployConfig>) -> Self {
+        let learner = Learner::new(cfg.clone());
+        let mut delivery = Delivery::new();
+        if cfg.wire.checkpoint_every > 0 {
+            delivery.disable_log();
+        }
         Replica {
-            learner: Learner::new(cfg),
-            delivery: Delivery::new(),
+            cfg,
+            learner,
+            delivery,
             machine: SM::default(),
+            last_ckpt: 0,
+        }
+    }
+
+    /// Creates a replica resuming from `ckpt`: the machine state is
+    /// adopted, the learner restarts at the checkpoint watermark, and the
+    /// delivery cursor skips the checkpoint's applied tail by membership.
+    /// Used by hosts that transfer snapshots to fresh or lagging replicas
+    /// out of band.
+    pub fn restore(cfg: Arc<DeployConfig>, ckpt: Checkpoint<SM>) -> Self {
+        let mut learner = Learner::new(cfg.clone());
+        if ckpt.watermark > 0 {
+            learner.resume_at(ckpt.watermark);
+        }
+        let last_ckpt = ckpt.applied;
+        Replica {
+            cfg,
+            learner,
+            delivery: Delivery::resume_skip(ckpt.watermark, ckpt.tail),
+            machine: ckpt.machine,
+            last_ckpt,
         }
     }
 
@@ -38,9 +117,35 @@ impl<SM: StateMachine> Replica<SM> {
         &self.machine
     }
 
-    /// Commands applied so far, in application order.
+    /// Commands applied since this replica (re)started, in application
+    /// order. Empty in checkpointing deployments, which do not retain the
+    /// log — use [`Replica::applied_count`] there.
     pub fn applied(&self) -> &[SM::Cmd] {
         self.delivery.delivered()
+    }
+
+    /// Total number of commands the machine state reflects, including
+    /// those below a restored checkpoint and its not-yet-passed tail.
+    pub fn applied_count(&self) -> u64 {
+        self.delivery.len() as u64
+    }
+
+    /// A checkpoint of the current state. The tail — commands applied
+    /// above the stable watermark — is the learner's live window up to
+    /// the cursor (the applied region after a drain), plus any commands
+    /// from a restored checkpoint the cursor has not passed again yet.
+    pub fn checkpoint(&self) -> Checkpoint<SM> {
+        let watermark = self.learner.watermark();
+        let window = self.learner.learned().as_slice();
+        let upto = (self.delivery.offset().saturating_sub(watermark) as usize).min(window.len());
+        let mut tail = window[..upto].to_vec();
+        tail.extend_from_slice(self.delivery.skip_commands());
+        Checkpoint {
+            applied: watermark + tail.len() as u64,
+            watermark,
+            tail,
+            machine: self.machine.clone(),
+        }
     }
 
     /// The underlying learner (for history inspection).
@@ -48,10 +153,17 @@ impl<SM: StateMachine> Replica<SM> {
         &self.learner
     }
 
-    fn drain(&mut self) {
-        let learned = self.learner.learned().clone();
-        for cmd in self.delivery.absorb(&learned) {
-            self.machine.apply(&cmd);
+    fn drain(&mut self, ctx: &mut dyn Context<ReplicaMsg<SM>>) {
+        // Split borrows: the cursor walks the learner's history in place
+        // and feeds the machine by reference — no clone of the history,
+        // no clone of the commands.
+        let learned = self.learner.learned();
+        let machine = &mut self.machine;
+        self.delivery.absorb_with(learned, |c| machine.apply(c));
+        let every = self.cfg.wire.checkpoint_every;
+        if every > 0 && self.delivery.len() as u64 >= self.last_ckpt + every {
+            self.last_ckpt = self.delivery.len() as u64;
+            ctx.storage().write(KEY_CKPT, to_bytes(&self.checkpoint()));
         }
     }
 }
@@ -63,14 +175,27 @@ impl<SM: StateMachine> Actor for Replica<SM> {
         self.learner.on_start(ctx);
     }
 
+    fn on_recover(&mut self, ctx: &mut dyn Context<Self::Msg>) {
+        if let Some(bytes) = ctx.storage().read(KEY_CKPT) {
+            let ckpt: Checkpoint<SM> = from_bytes(bytes).expect("corrupt replica checkpoint");
+            self.machine = ckpt.machine;
+            self.last_ckpt = ckpt.applied;
+            if ckpt.watermark > 0 {
+                self.learner.resume_at(ckpt.watermark);
+            }
+            self.delivery = Delivery::resume_skip(ckpt.watermark, ckpt.tail);
+        }
+        self.learner.on_start(ctx);
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut dyn Context<Self::Msg>) {
         self.learner.on_message(from, msg, ctx);
-        self.drain();
+        self.drain(ctx);
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self::Msg>) {
         self.learner.on_timer(token, ctx);
-        self.drain();
+        self.drain(ctx);
     }
 }
 
@@ -80,6 +205,7 @@ mod tests {
     use crate::{CmdId, KvCmd, KvOp, KvStore};
     use mcpaxos_actor::{MemStore, Metric, SimDuration, SimTime, StableStore};
     use mcpaxos_core::{Policy, Round, RTYPE_MULTI};
+    use mcpaxos_cstruct::CStruct;
 
     struct Ctx {
         store: MemStore,
@@ -103,6 +229,13 @@ mod tests {
         }
     }
 
+    fn put(seq: u32, k: u16, v: u64) -> KvCmd {
+        KvCmd {
+            id: CmdId { client: 1, seq },
+            op: KvOp::Put(k, v),
+        }
+    }
+
     #[test]
     fn replica_applies_learned_commands() {
         // 3 acceptors (a4..a6 in 1/3/3/1 layout), majority 2.
@@ -112,11 +245,7 @@ mod tests {
             store: MemStore::new(),
         };
         let round = Round::new(0, 1, 0, RTYPE_MULTI);
-        let cmd = KvCmd {
-            id: CmdId { client: 1, seq: 0 },
-            op: KvOp::Put(7, 70),
-        };
-        let hist: CommandHistory<KvCmd> = [cmd].into_iter().collect();
+        let hist: CommandHistory<KvCmd> = [put(0, 7, 70)].into_iter().collect();
         for a in [4u32, 5] {
             r.on_message(
                 ProcessId(a),
@@ -129,5 +258,51 @@ mod tests {
         }
         assert_eq!(r.machine().get(7), Some(70));
         assert_eq!(r.applied().len(), 1);
+        assert_eq!(r.applied_count(), 1);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_restores() {
+        let cfg = Arc::new(DeployConfig::simple(1, 3, 3, 1, Policy::MultiCoordinated));
+        let mut r: Replica<KvStore> = Replica::new(cfg.clone());
+        let mut ctx = Ctx {
+            store: MemStore::new(),
+        };
+        let round = Round::new(0, 1, 0, RTYPE_MULTI);
+        let hist: CommandHistory<KvCmd> = [put(0, 1, 10), put(1, 2, 20)].into_iter().collect();
+        for a in [4u32, 5] {
+            r.on_message(
+                ProcessId(a),
+                Msg::P2b {
+                    round,
+                    val: hist.clone().into(),
+                },
+                &mut ctx,
+            );
+        }
+        let ckpt = r.checkpoint();
+        assert_eq!(ckpt.applied, 2);
+        let bytes = to_bytes(&ckpt);
+        let back: Checkpoint<KvStore> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        // A restored replica adopts the state without replaying, and
+        // continues from the watermark.
+        let mut r2: Replica<KvStore> = Replica::restore(cfg, back);
+        assert_eq!(r2.machine().get(1), Some(10));
+        assert_eq!(r2.applied_count(), 2);
+        let mut hist2 = hist.clone();
+        hist2.append(put(2, 3, 30));
+        for a in [4u32, 5] {
+            r2.on_message(
+                ProcessId(a),
+                Msg::P2b {
+                    round,
+                    val: hist2.clone().into(),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(r2.machine().get(3), Some(30));
+        assert_eq!(r2.applied_count(), 3);
     }
 }

@@ -107,16 +107,17 @@ fn bank_conserves_money_and_agrees_on_rejections() {
         deploy::<Bank>(&mut sim, &cfg);
         // Seed money, then a storm of transfers/withdrawals/deposits.
         let mut deposited: u64 = 0;
-        let mut seq = 0u32;
         for acct in 0..4u16 {
             let cmd = BankCmd {
-                id: CmdId { client: 9, seq },
+                id: CmdId {
+                    client: 9,
+                    seq: u32::from(acct),
+                },
                 op: BankOp::Deposit {
                     account: acct,
                     amount: 1_000,
                 },
             };
-            seq += 1;
             deposited += 1_000;
             sim.inject_at(
                 SimTime(100 + u64::from(acct)),

@@ -58,7 +58,7 @@ fn run(policy: Policy) -> (Vec<Option<u64>>, i64) {
         .map(|(k, &t)| {
             history
                 .iter()
-                .find(|(_, n)| *n >= k + 1)
+                .find(|(_, n)| *n > k)
                 .map(|(lt, _)| lt.ticks().saturating_sub(t))
         })
         .collect();
