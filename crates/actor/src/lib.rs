@@ -41,5 +41,5 @@ pub mod wire;
 pub use actor::{Actor, AnyActor, Context, TimerToken};
 pub use id::{ProcessId, RoleMap};
 pub use metrics::{Metric, MetricSink, Metrics};
-pub use storage::{MemStore, StableStore};
+pub use storage::{crc32, MemStore, StableStore, WalStore};
 pub use time::{SimDuration, SimTime};

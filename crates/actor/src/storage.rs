@@ -6,6 +6,18 @@
 //! storage at all. To measure those claims we route every durable write
 //! through [`StableStore`], which counts writes; the simulator additionally
 //! charges a configurable latency per write.
+//!
+//! Two implementations are provided:
+//!
+//! * [`MemStore`] — an overwrite-in-place key-value map where every
+//!   `write` is one synchronous disk write (the seed behaviour, used by
+//!   the default experiments);
+//! * [`WalStore`] — an append-only, CRC-checksummed record log with
+//!   group-commit batching: `write` buffers a record, [`StableStore::flush`]
+//!   makes the whole batch durable as *one* counted disk write, recovery
+//!   replays the log and truncates torn or corrupt tails instead of
+//!   failing, and [`StableStore::compact`] rewrites the log keeping only
+//!   the latest record per key (driven by the stable-prefix watermark).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -14,19 +26,55 @@ use std::fmt;
 /// that survives crashes.
 ///
 /// Keys are short static names ("vote", "mcount", ...); values are produced
-/// by the [`crate::wire`] codec. One `write` models one synchronous disk
-/// write (the unit of §4.4's accounting).
+/// by the [`crate::wire`] codec. [`StableStore::write_count`] counts
+/// *synchronous disk writes* (the unit of §4.4's accounting): for
+/// [`MemStore`] that is every `write`; for [`WalStore`] it is every
+/// non-empty [`StableStore::flush`], which is how group commit amortizes
+/// many logical writes into one disk write.
 pub trait StableStore {
-    /// Durably writes `value` under `key`, replacing any previous value.
-    /// Counts as one disk write even if the value is unchanged.
+    /// Writes `value` under `key`, replacing any previous value. Whether
+    /// the write is immediately durable depends on the implementation:
+    /// [`MemStore`] syncs per write, [`WalStore`] buffers until
+    /// [`StableStore::flush`].
     fn write(&mut self, key: &str, value: Vec<u8>);
 
-    /// Reads the last value written under `key`, if any.
+    /// Reads the last value written under `key`, if any (including
+    /// buffered, not-yet-flushed writes).
     fn read(&self, key: &str) -> Option<&[u8]>;
 
-    /// Total number of writes performed over the lifetime of the store
-    /// (across crashes — the store itself is the durable medium).
+    /// Total number of synchronous disk writes performed over the lifetime
+    /// of the store (across crashes — the store itself is the durable
+    /// medium).
     fn write_count(&self) -> u64;
+
+    /// Makes all buffered writes durable. A store that syncs per write
+    /// (such as [`MemStore`]) has nothing to do.
+    fn flush(&mut self) {}
+
+    /// Crash semantics: drops writes that were buffered but never flushed
+    /// (the host runtime calls this when the owning process crashes). A
+    /// store that syncs per write loses nothing.
+    fn lose_unflushed(&mut self) {}
+
+    /// Compacts the underlying representation, retaining only what is
+    /// needed to serve [`StableStore::read`]. A no-op for stores without a
+    /// log structure.
+    fn compact(&mut self) {}
+
+    /// Records found unreadable (bad checksum or torn tail) during
+    /// recovery replays of this store.
+    fn corrupt_records(&self) -> u64 {
+        0
+    }
+
+    /// Reads the last **durable** value under `key`: what a crash right
+    /// now would preserve. For per-write-sync stores this is the same as
+    /// [`StableStore::read`]; a buffering store must exclude unflushed
+    /// writes. Invariant checkers use this to assert durability claims
+    /// without crashing the process.
+    fn flushed_read(&self, key: &str) -> Option<&[u8]> {
+        self.read(key)
+    }
 }
 
 /// In-memory implementation of [`StableStore`].
@@ -86,6 +134,357 @@ impl fmt::Debug for MemStore {
     }
 }
 
+// ----- CRC32 (IEEE 802.3 polynomial) -------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 checksum (IEEE polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ----- WalStore ------------------------------------------------------------
+
+/// Record layout, appended back to back:
+///
+/// ```text
+/// [payload_len: u32 LE] [key_len: u16 LE] [key bytes] [value bytes] [crc: u32 LE]
+/// ```
+///
+/// `payload_len` covers `key_len + key + value`; the CRC covers the same
+/// payload bytes. A record whose length field runs past the end of the log
+/// is a *torn tail* (the crash interrupted the write); a record whose CRC
+/// does not match is *corrupt*. Both truncate replay at the last good
+/// record.
+const LEN_BYTES: usize = 4;
+const KEYLEN_BYTES: usize = 2;
+const CRC_BYTES: usize = 4;
+
+/// Append-only, CRC-checksummed record log implementing [`StableStore`]
+/// with group-commit batching.
+///
+/// * `write` appends a record to a volatile batch buffer and updates the
+///   read index; it performs **no** disk write.
+/// * [`StableStore::flush`] appends the batch to the durable log as one
+///   counted disk write (the group commit). Flushing an empty batch is
+///   free — duplicate flushes are not charged.
+/// * [`StableStore::lose_unflushed`] models the crash: the batch buffer is
+///   dropped and the index is rebuilt by replaying the durable log, so a
+///   recovering actor observes exactly the flushed state.
+/// * [`WalStore::replay`] walks the log record by record, verifying each
+///   CRC; a torn or corrupt tail is truncated at the last good record and
+///   counted in [`StableStore::corrupt_records`] instead of failing
+///   recovery.
+/// * [`StableStore::compact`] rewrites the log with one record per live
+///   key (callers invoke it when the stable-prefix watermark advances and
+///   superseded vote records dominate the log).
+///
+/// A `WalStore` built with [`WalStore::synchronous`] flushes on every
+/// `write`, reproducing [`MemStore`]'s per-write disk accounting — the
+/// baseline the E11 experiment compares group commit against.
+#[derive(Clone)]
+pub struct WalStore {
+    /// The durable medium: flushed records, back to back.
+    log: Vec<u8>,
+    /// Records written since the last flush (volatile: a crash drops it).
+    buf: Vec<u8>,
+    /// Latest value per key, including buffered writes.
+    index: BTreeMap<String, Vec<u8>>,
+    /// Synchronous disk writes (non-empty flushes + compaction rewrites).
+    synced: u64,
+    /// Logical records appended over the store's lifetime.
+    records: u64,
+    /// Unreadable records seen by replays.
+    corrupt: u64,
+    /// Flush on every write (per-vote baseline mode).
+    sync_every_write: bool,
+    /// Auto-compact when the flushed log exceeds this many bytes
+    /// (0 = only on explicit [`StableStore::compact`] calls).
+    compact_above: usize,
+}
+
+impl Default for WalStore {
+    fn default() -> Self {
+        WalStore::new()
+    }
+}
+
+impl WalStore {
+    /// A group-commit store: writes buffer until [`StableStore::flush`].
+    pub fn new() -> Self {
+        WalStore {
+            log: Vec::new(),
+            buf: Vec::new(),
+            index: BTreeMap::new(),
+            synced: 0,
+            records: 0,
+            corrupt: 0,
+            sync_every_write: false,
+            compact_above: 0,
+        }
+    }
+
+    /// A store that flushes on every `write`: one disk write per record,
+    /// like [`MemStore`] (the §4.4 per-vote baseline).
+    pub fn synchronous() -> Self {
+        WalStore {
+            sync_every_write: true,
+            ..WalStore::new()
+        }
+    }
+
+    /// Returns `self` auto-compacting whenever the flushed log exceeds
+    /// `bytes` (0 disables auto-compaction).
+    pub fn with_compact_above(mut self, bytes: usize) -> Self {
+        self.compact_above = bytes;
+        self
+    }
+
+    /// Rebuilds a store from raw log bytes (as read back from a disk
+    /// file), replaying and truncating any torn tail.
+    pub fn from_log(log: Vec<u8>) -> Self {
+        let mut s = WalStore::new();
+        s.log = log;
+        s.replay();
+        s
+    }
+
+    /// Size of the flushed log in bytes.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The flushed log bytes (what a disk file would contain); feed them
+    /// to [`WalStore::from_log`] to model re-opening after a restart.
+    pub fn log_bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Bytes currently buffered and not yet flushed.
+    pub fn unflushed_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Logical records appended over the store's lifetime.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of distinct keys currently readable.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no keys are readable.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Test hook: XORs the last `n` bytes of the flushed log with `0xFF`,
+    /// simulating medium corruption of the tail.
+    pub fn corrupt_tail(&mut self, n: usize) {
+        let len = self.log.len();
+        for b in &mut self.log[len.saturating_sub(n)..] {
+            *b ^= 0xFF;
+        }
+    }
+
+    /// Test hook: drops the last `n` bytes of the flushed log, simulating
+    /// a torn (partially persisted) final record.
+    pub fn tear_tail(&mut self, n: usize) {
+        let keep = self.log.len().saturating_sub(n);
+        self.log.truncate(keep);
+    }
+
+    fn append_record(out: &mut Vec<u8>, key: &str, value: &[u8]) {
+        let key = key.as_bytes();
+        let payload_len = KEYLEN_BYTES + key.len() + value.len();
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        let payload_start = out.len();
+        out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        out.extend_from_slice(key);
+        out.extend_from_slice(value);
+        let crc = crc32(&out[payload_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Parses the record at `log[at..]`; returns `(key, value, next_at)`
+    /// or `None` when the record is torn or fails its CRC.
+    fn parse_record(log: &[u8], at: usize) -> Option<(String, Vec<u8>, usize)> {
+        let rest = &log[at..];
+        if rest.len() < LEN_BYTES {
+            return None;
+        }
+        let payload_len = u32::from_le_bytes(rest[..LEN_BYTES].try_into().unwrap()) as usize;
+        let total = LEN_BYTES + payload_len + CRC_BYTES;
+        if payload_len < KEYLEN_BYTES || rest.len() < total {
+            return None; // torn: the record was cut mid-write
+        }
+        let payload = &rest[LEN_BYTES..LEN_BYTES + payload_len];
+        let stored_crc =
+            u32::from_le_bytes(rest[LEN_BYTES + payload_len..total].try_into().unwrap());
+        if crc32(payload) != stored_crc {
+            return None; // corrupt payload
+        }
+        let key_len = u16::from_le_bytes(payload[..KEYLEN_BYTES].try_into().unwrap()) as usize;
+        if KEYLEN_BYTES + key_len > payload.len() {
+            return None;
+        }
+        let key = String::from_utf8(payload[KEYLEN_BYTES..KEYLEN_BYTES + key_len].to_vec()).ok()?;
+        let value = payload[KEYLEN_BYTES + key_len..].to_vec();
+        Some((key, value, at + total))
+    }
+
+    /// Replays the flushed log from the start, rebuilding the read index.
+    /// Stops at the first torn or corrupt record, truncates the log there
+    /// (truncate-to-last-good-record) and counts the event in
+    /// [`StableStore::corrupt_records`]. Returns the number of records
+    /// recovered.
+    pub fn replay(&mut self) -> u64 {
+        self.index.clear();
+        let mut at = 0;
+        let mut recovered = 0;
+        while at < self.log.len() {
+            match Self::parse_record(&self.log, at) {
+                Some((key, value, next)) => {
+                    self.index.insert(key, value);
+                    at = next;
+                    recovered += 1;
+                }
+                None => {
+                    self.corrupt += 1;
+                    self.log.truncate(at);
+                    break;
+                }
+            }
+        }
+        recovered
+    }
+
+    fn maybe_auto_compact(&mut self) {
+        if self.compact_above > 0 && self.log.len() > self.compact_above {
+            self.rewrite_compacted();
+        }
+    }
+
+    /// Rewrites the flushed log with one record per live key. Counted as
+    /// one disk write (the rewrite is a disk operation).
+    fn rewrite_compacted(&mut self) {
+        let mut fresh = Vec::new();
+        for (k, v) in &self.index {
+            Self::append_record(&mut fresh, k, v);
+        }
+        // Buffered records stay buffered: the rewrite covers them via the
+        // index, so drop the buffer to avoid re-appending duplicates.
+        self.buf.clear();
+        self.log = fresh;
+        self.synced += 1;
+    }
+}
+
+impl StableStore for WalStore {
+    fn write(&mut self, key: &str, value: Vec<u8>) {
+        Self::append_record(&mut self.buf, key, &value);
+        self.index.insert(key.to_owned(), value);
+        self.records += 1;
+        if self.sync_every_write {
+            self.flush();
+        }
+    }
+
+    fn read(&self, key: &str) -> Option<&[u8]> {
+        self.index.get(key).map(|v| v.as_slice())
+    }
+
+    fn write_count(&self) -> u64 {
+        self.synced
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return; // duplicate flush: nothing to sync, nothing charged
+        }
+        self.log.append(&mut self.buf);
+        self.synced += 1;
+        self.maybe_auto_compact();
+    }
+
+    fn lose_unflushed(&mut self) {
+        self.buf.clear();
+        self.replay();
+    }
+
+    fn compact(&mut self) {
+        // Make buffered records durable first, then rewrite: compaction
+        // must never weaken durability.
+        self.flush();
+        if !self.log.is_empty() {
+            self.rewrite_compacted();
+        }
+    }
+
+    fn corrupt_records(&self) -> u64 {
+        self.corrupt
+    }
+
+    fn flushed_read(&self, key: &str) -> Option<&[u8]> {
+        // The read index includes buffered writes, so scan the flushed
+        // log instead (O(log) per call — this is an inspection hook, not
+        // a hot path).
+        let mut at = 0;
+        let mut hit = None;
+        while at < self.log.len() {
+            match Self::parse_record(&self.log, at) {
+                Some((k, v, next)) => {
+                    if k == key {
+                        hit = Some(next - CRC_BYTES - v.len()..next - CRC_BYTES);
+                    }
+                    at = next;
+                }
+                None => break,
+            }
+        }
+        hit.map(|r| &self.log[r])
+    }
+}
+
+impl fmt::Debug for WalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalStore")
+            .field("keys", &self.index.keys().collect::<Vec<_>>())
+            .field("log_bytes", &self.log.len())
+            .field("unflushed_bytes", &self.buf.len())
+            .field("synced", &self.synced)
+            .field("records", &self.records)
+            .field("corrupt", &self.corrupt)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +519,23 @@ mod tests {
         s.write("k", vec![9, 9]);
         assert_eq!(s.read("k"), Some(&[9u8, 9][..]));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memstore_trait_defaults_are_noops() {
+        let mut s = MemStore::new();
+        s.write("k", vec![7]);
+        s.flush();
+        s.compact();
+        s.lose_unflushed(); // per-write sync: nothing to lose
+        assert_eq!(s.read("k"), Some(&[7u8][..]));
+        assert_eq!(s.corrupt_records(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

@@ -51,12 +51,13 @@ fn history() -> impl Strategy<Value = H> {
 fn payload() -> impl Strategy<Value = P> {
     prop_oneof![
         history().prop_map(Payload::full),
-        (any::<u32>(), prop::collection::vec(k(), 0..8)).prop_map(|(base, suffix)| {
-            Payload::Delta {
+        (any::<u32>(), any::<u64>(), prop::collection::vec(k(), 0..8)).prop_map(
+            |(base, digest, suffix)| Payload::Delta {
                 base_len: u64::from(base),
+                digest,
                 suffix,
-            }
-        }),
+            },
+        ),
     ]
 }
 
@@ -96,17 +97,19 @@ proptest! {
         let full: H = cmds.iter().cloned().collect();
         let p = cut.min(full.as_slice().len()) as u64;
         let suffix = full.suffix_from(p).expect("in range");
-        let delta: P = Payload::Delta { base_len: p, suffix };
+        let delta: P = Payload::Delta { base_len: p, digest: mcpaxos_core::value_digest(&full), suffix };
 
         let decoded: P = from_bytes(&to_bytes(&delta)).unwrap();
-        let (base_len, suffix) = match decoded {
-            Payload::Delta { base_len, suffix } => (base_len, suffix),
+        let (base_len, digest, suffix) = match decoded {
+            Payload::Delta { base_len, digest, suffix } => (base_len, digest, suffix),
             Payload::Full(_) => return Err(TestCaseError::fail("shape changed")),
         };
         prop_assert_eq!(base_len, p);
         let mut base: H = full.as_slice()[..p as usize].iter().cloned().collect();
         base.apply_suffix(base_len, &suffix).expect("base covers split");
         prop_assert_eq!(base.as_slice(), full.as_slice());
+        // The digest survives the wire and matches the reconstruction.
+        prop_assert_eq!(digest, mcpaxos_core::value_digest(&base));
 
         // And the full-payload route agrees, Arc sharing preserved
         // transparently by the codec.
@@ -126,7 +129,7 @@ proptest! {
         tag in 0u8..3,
     ) {
         let round = Round::new(1, 2, 0, 1);
-        let payload: P = Payload::Delta { base_len: u64::from(base), suffix: cmds };
+        let payload: P = Payload::Delta { base_len: u64::from(base), digest: 7, suffix: cmds };
         let msg: Msg<H> = match tag {
             0 => Msg::P1b { round, vrnd: Round::ZERO, vval: payload },
             1 => Msg::P2a { round, val: payload },

@@ -1,0 +1,216 @@
+//! WAL replay unit suite: group-commit batching, torn tails, corrupt
+//! tails, duplicate flushes, empty logs, crash semantics, compaction.
+
+use mcpaxos_actor::{StableStore, WalStore};
+
+#[test]
+fn empty_log_replays_to_empty_store() {
+    let mut s = WalStore::new();
+    assert_eq!(s.replay(), 0);
+    assert!(s.is_empty());
+    assert_eq!(s.write_count(), 0);
+    assert_eq!(s.corrupt_records(), 0);
+
+    let s = WalStore::from_log(Vec::new());
+    assert!(s.is_empty());
+    assert_eq!(s.corrupt_records(), 0);
+}
+
+#[test]
+fn group_commit_batches_many_writes_into_one_disk_write() {
+    let mut s = WalStore::new();
+    for i in 0..10u8 {
+        s.write("vote", vec![i]);
+    }
+    assert_eq!(s.write_count(), 0, "writes only buffer");
+    assert!(s.unflushed_len() > 0);
+    s.flush();
+    assert_eq!(s.write_count(), 1, "whole batch is one sync");
+    assert_eq!(s.unflushed_len(), 0);
+    assert_eq!(s.read("vote"), Some(&[9u8][..]));
+    assert_eq!(s.records_written(), 10);
+}
+
+#[test]
+fn duplicate_flush_is_free() {
+    let mut s = WalStore::new();
+    s.write("k", vec![1]);
+    s.flush();
+    s.flush();
+    s.flush();
+    assert_eq!(s.write_count(), 1, "empty flushes must not be charged");
+}
+
+#[test]
+fn synchronous_mode_counts_every_write() {
+    let mut s = WalStore::synchronous();
+    s.write("a", vec![1]);
+    s.write("b", vec![2]);
+    s.write("a", vec![3]);
+    assert_eq!(s.write_count(), 3, "per-vote baseline: one sync per write");
+    assert_eq!(s.read("a"), Some(&[3u8][..]));
+}
+
+#[test]
+fn crash_loses_unflushed_but_keeps_flushed() {
+    let mut s = WalStore::new();
+    s.write("vote", vec![1]);
+    s.flush();
+    s.write("vote", vec![2]); // buffered only
+    assert_eq!(s.read("vote"), Some(&[2u8][..]), "reads see the buffer");
+    s.lose_unflushed();
+    assert_eq!(
+        s.read("vote"),
+        Some(&[1u8][..]),
+        "crash rolls back to the flushed record"
+    );
+    assert_eq!(s.corrupt_records(), 0, "a clean tail is not corruption");
+}
+
+#[test]
+fn torn_tail_truncates_to_last_good_record() {
+    let mut s = WalStore::new();
+    s.write("vote", vec![1, 1, 1]);
+    s.flush();
+    s.write("vote", vec![2, 2, 2]);
+    s.flush();
+    let full = s.log_len();
+    s.tear_tail(3); // cut the last record mid-write
+    assert!(s.log_len() < full);
+    let recovered = s.replay();
+    assert_eq!(recovered, 1, "only the intact record survives");
+    assert_eq!(s.read("vote"), Some(&[1u8, 1, 1][..]));
+    assert_eq!(s.corrupt_records(), 1);
+    // The log was truncated at the tear: replaying again is clean.
+    let before = s.corrupt_records();
+    s.replay();
+    assert_eq!(s.corrupt_records(), before);
+}
+
+#[test]
+fn corrupt_tail_fails_crc_and_truncates() {
+    let mut s = WalStore::new();
+    s.write("rnd", vec![7]);
+    s.write("vote", vec![8]);
+    s.flush();
+    s.write("vote", vec![9]);
+    s.flush();
+    s.corrupt_tail(2); // flip bits inside the final record's CRC/payload
+    s.replay();
+    assert_eq!(s.read("vote"), Some(&[8u8][..]), "falls back to last good");
+    assert_eq!(s.read("rnd"), Some(&[7u8][..]));
+    assert_eq!(s.corrupt_records(), 1);
+}
+
+#[test]
+fn corruption_mid_log_truncates_everything_after() {
+    let mut s = WalStore::new();
+    s.write("a", vec![1]);
+    s.flush();
+    let cut = s.log_len();
+    s.write("b", vec![2]);
+    s.write("c", vec![3]);
+    s.flush();
+    // Corrupt the *second* record: 'a' survives, 'b' and 'c' are lost
+    // even though 'c''s bytes are intact (no way to trust a log past a
+    // bad record).
+    let tail = s.log_len() - cut;
+    s.corrupt_tail(tail);
+    s.replay();
+    assert_eq!(s.read("a"), Some(&[1u8][..]));
+    assert!(s.read("b").is_none());
+    assert!(s.read("c").is_none());
+    assert!(s.corrupt_records() >= 1);
+}
+
+#[test]
+fn from_log_roundtrip() {
+    let mut s = WalStore::new();
+    s.write("vote", vec![4, 5]);
+    s.write("mcount", vec![6]);
+    s.flush();
+    // Simulate re-opening the file: feed the raw bytes to a fresh store.
+    let reopened = WalStore::from_log(s.log_bytes().to_vec());
+    assert_eq!(reopened.read("vote"), Some(&[4u8, 5][..]));
+    assert_eq!(reopened.read("mcount"), Some(&[6u8][..]));
+    assert_eq!(reopened.corrupt_records(), 0);
+}
+
+/// Mirrors the WAL record layout for test verification:
+/// `[payload_len u32 LE][key_len u16 LE][key][value][crc32 u32 LE]`.
+fn encode_record(key: &str, value: &[u8]) -> Vec<u8> {
+    let kb = key.as_bytes();
+    let payload_len = 2 + kb.len() + value.len();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    let start = out.len();
+    out.extend_from_slice(&(kb.len() as u16).to_le_bytes());
+    out.extend_from_slice(kb);
+    out.extend_from_slice(value);
+    let crc = mcpaxos_actor::crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+#[test]
+fn record_layout_is_stable() {
+    // Pin the on-disk format: a change here breaks recovery of existing
+    // logs and must be deliberate.
+    let mut s = WalStore::from_log(encode_record("vote", &[1, 2, 3]));
+    assert_eq!(s.read("vote"), Some(&[1u8, 2, 3][..]));
+    assert_eq!(s.corrupt_records(), 0);
+    // Two records back to back.
+    let mut log = encode_record("a", &[1]);
+    log.extend(encode_record("a", &[2]));
+    s = WalStore::from_log(log);
+    assert_eq!(s.read("a"), Some(&[2u8][..]), "later record wins");
+}
+
+#[test]
+fn compaction_shrinks_log_and_preserves_reads() {
+    let mut s = WalStore::new();
+    for i in 0..50u8 {
+        s.write("vote", vec![i; 8]);
+        s.flush();
+    }
+    s.write("mcount", vec![3]);
+    s.flush();
+    let before = s.log_len();
+    let syncs_before = s.write_count();
+    s.compact();
+    assert!(s.log_len() < before, "50 superseded records must vanish");
+    assert_eq!(s.read("vote"), Some(&[49u8; 8][..]));
+    assert_eq!(s.read("mcount"), Some(&[3u8][..]));
+    assert!(
+        s.write_count() > syncs_before,
+        "the rewrite is a disk write"
+    );
+    // Replay of the compacted log reproduces the same state.
+    s.replay();
+    assert_eq!(s.read("vote"), Some(&[49u8; 8][..]));
+    assert_eq!(s.corrupt_records(), 0);
+}
+
+#[test]
+fn compaction_flushes_buffered_writes_first() {
+    let mut s = WalStore::new();
+    s.write("k", vec![1]);
+    s.compact(); // must not silently drop the buffered record
+    s.lose_unflushed();
+    assert_eq!(s.read("k"), Some(&[1u8][..]), "compaction implies flush");
+}
+
+#[test]
+fn auto_compaction_kicks_in_above_threshold() {
+    let mut s = WalStore::new().with_compact_above(256);
+    for i in 0..100u8 {
+        s.write("vote", vec![i; 16]);
+        s.flush();
+    }
+    assert!(
+        s.log_len() <= 256 + 64,
+        "auto-compaction must bound the log (got {} bytes)",
+        s.log_len()
+    );
+    assert_eq!(s.read("vote"), Some(&[99u8; 16][..]));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e11_wal experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e11_wal().render_text());
+}

@@ -1,0 +1,96 @@
+//! CI-facing WAL benchmark: group-commit fsync amortization vs per-vote
+//! flushing (experiment E11).
+//!
+//! Runs the 1 000-command paced workload on WAL-backed acceptors once per
+//! flush policy, emits `BENCH_wal.json` (a flat array of per-policy
+//! records) so every CI run leaves a comparable artifact, and prints the
+//! comparison. With `--check`, exits non-zero unless
+//!
+//! * both runs learn all commands,
+//! * group commit cuts total acceptor syncs ≥ 5× vs the per-vote
+//!   baseline,
+//! * no acceptor store surfaces corrupt records in a crash-free run.
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_wal [--check] [--out PATH]`
+
+use mcpaxos_bench::wal_bench::{
+    sync_reduction, wal_run, WalRunStats, WAL_COMMANDS, WAL_GROUP_COMMIT,
+};
+use std::fmt::Write as _;
+
+fn json_record(s: &WalRunStats) -> String {
+    format!(
+        "{{\"policy\":\"{}\",\"group_commit\":{},\"commands\":{},\"learned\":{},\
+         \"acc_syncs\":{},\"syncs_per_cmd\":{:.4},\"corrupt_records\":{},\
+         \"mean_latency\":{:.2},\"max_latency\":{}}}",
+        s.label,
+        s.group_commit,
+        s.commands,
+        s.learned,
+        s.acc_syncs,
+        s.syncs_per_cmd,
+        s.corrupt_records,
+        s.mean_latency,
+        s.max_latency,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wal.json".to_string());
+
+    let baseline = wal_run(0, WAL_COMMANDS);
+    let batched = wal_run(WAL_GROUP_COMMIT, WAL_COMMANDS);
+
+    let mut json = String::from("[\n");
+    let _ = writeln!(json, "  {},", json_record(&baseline));
+    let _ = writeln!(json, "  {}", json_record(&batched));
+    json.push_str("]\n");
+    std::fs::write(&out, &json).expect("write BENCH_wal.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    let ratio = sync_reduction(&baseline, &batched);
+    println!(
+        "acceptor syncs: per-vote = {}, group commit ({} ticks) = {} ({ratio:.1}x reduction)",
+        baseline.acc_syncs, WAL_GROUP_COMMIT, batched.acc_syncs
+    );
+    println!(
+        "latency: per-vote mean/max = {:.2}/{}, group commit mean/max = {:.2}/{}",
+        baseline.mean_latency, baseline.max_latency, batched.mean_latency, batched.max_latency
+    );
+
+    if check {
+        let mut failed = Vec::new();
+        for s in [&baseline, &batched] {
+            if s.learned != WAL_COMMANDS as usize {
+                failed.push(format!(
+                    "{} run learned {} < {WAL_COMMANDS}",
+                    s.label, s.learned
+                ));
+            }
+            if s.corrupt_records != 0 {
+                failed.push(format!(
+                    "{} run surfaced {} corrupt records without a crash",
+                    s.label, s.corrupt_records
+                ));
+            }
+        }
+        if ratio < 5.0 {
+            failed.push(format!("disk-write reduction {ratio:.1}x < 5x floor"));
+        }
+        if failed.is_empty() {
+            println!("CHECK PASSED (>=5x disk-write amortization, all learned)");
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

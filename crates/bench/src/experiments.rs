@@ -662,6 +662,56 @@ pub fn e10_wire() -> Table {
     ))
 }
 
+/// E11 — WAL group commit: fsync amortization vs per-vote flushing.
+pub fn e11_wal() -> Table {
+    use crate::wal_bench::{sync_reduction, wal_run, WAL_COMMANDS, WAL_GROUP_COMMIT};
+    let mut t = Table::new(
+        "E11 — WAL group commit: fsync amortization",
+        "§4.4 charges one stable write per accept per acceptor; an append-only WAL \
+         with group commit keeps that logical write but batches the *syncs*, \
+         deferring each \"2b\" to the flush tick so no acceptor announces a vote a \
+         crash could erase (soundness exhausted by the model_check suite)",
+        &[
+            "flush policy",
+            "acceptor syncs",
+            "syncs/cmd/acceptor",
+            "reduction",
+            "mean steps",
+            "max stall",
+            "corrupt records",
+        ],
+    );
+    let baseline = wal_run(0, WAL_COMMANDS);
+    for s in [
+        &baseline,
+        &wal_run(2, WAL_COMMANDS),
+        &wal_run(WAL_GROUP_COMMIT, WAL_COMMANDS),
+    ] {
+        assert_eq!(
+            s.learned, WAL_COMMANDS as usize,
+            "{}: run must learn everything",
+            s.label
+        );
+        t.row(&[
+            s.label.clone(),
+            s.acc_syncs.to_string(),
+            format!("{:.3}", s.syncs_per_cmd),
+            format!("{:.1}x", sync_reduction(&baseline, s)),
+            f2(s.mean_latency),
+            s.max_latency.to_string(),
+            s.corrupt_records.to_string(),
+        ]);
+    }
+    t.with_note(format!(
+        "{} commands paced one per tick, 5 WAL-backed acceptors, Reduced durability. \
+         The per-vote row syncs every accept (the E7 accounting); group commit \
+         amortizes the same logical writes into one flush per interval at the cost \
+         of up to one interval of extra learning latency (CI floor: ≥5x at \
+         gc={}, `bench_wal --check`).",
+        WAL_COMMANDS, WAL_GROUP_COMMIT
+    ))
+}
+
 /// Smoke check used by the test-suite: every experiment renders non-empty.
 pub fn smoke() -> Vec<(String, usize)> {
     crate::all_experiments()

@@ -1,6 +1,6 @@
 //! Reusable cluster harness for experiments: deploy, drive, measure.
 
-use mcpaxos_actor::{ProcessId, SimTime, StableStore};
+use mcpaxos_actor::{ProcessId, SimTime};
 use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Learner, Msg, Proposer};
 use mcpaxos_cstruct::CStruct;
 use mcpaxos_simnet::{NetConfig, Sim};
@@ -19,11 +19,27 @@ pub struct ClusterHarness<C: CStruct> {
 }
 
 impl<C: CStruct> ClusterHarness<C> {
-    /// Deploys every role of `cfg` into a fresh simulator.
+    /// Deploys every role of `cfg` into a fresh simulator over the default
+    /// per-write-sync [`mcpaxos_actor::MemStore`] storage.
     pub fn new(cfg: DeployConfig, seed: u64, net: NetConfig) -> Self {
+        Self::build(cfg, Sim::new(seed, net))
+    }
+
+    /// Like [`ClusterHarness::new`], but backs every process with storage
+    /// from `factory` (e.g. a [`mcpaxos_actor::WalStore`] for the E11
+    /// group-commit measurements).
+    pub fn with_storage<F>(cfg: DeployConfig, seed: u64, net: NetConfig, factory: F) -> Self
+    where
+        F: FnMut(ProcessId) -> Box<dyn mcpaxos_actor::StableStore> + 'static,
+    {
+        let mut sim: Sim<Msg<C>> = Sim::new(seed, net);
+        sim.set_storage_factory(factory);
+        Self::build(cfg, sim)
+    }
+
+    fn build(cfg: DeployConfig, mut sim: Sim<Msg<C>>) -> Self {
         cfg.validate().expect("invalid deployment config");
         let cfg = Arc::new(cfg);
-        let mut sim: Sim<Msg<C>> = Sim::new(seed, net);
         for &p in cfg.roles.proposers() {
             let cfg = cfg.clone();
             sim.add_process(p, move || Box::new(Proposer::<C>::new(cfg.clone())));

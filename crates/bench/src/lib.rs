@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod harness;
 pub mod history_workloads;
 pub mod table;
+pub mod wal_bench;
 pub mod wire_bench;
 
 pub use harness::ClusterHarness;
@@ -32,5 +33,6 @@ pub fn all_experiments() -> Vec<Table> {
         experiments::e9_generic_broadcast(),
         experiments::a1_coordquorum_size(),
         experiments::e10_wire(),
+        experiments::e11_wal(),
     ]
 }

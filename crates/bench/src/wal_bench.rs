@@ -1,0 +1,138 @@
+//! E11 — WAL group commit: fsync amortization vs per-vote flushing.
+//!
+//! §4.4 prices the protocol in synchronous disk writes: one per accept at
+//! every acceptor. A [`mcpaxos_actor::WalStore`] with group commit keeps
+//! that logical write-per-accept but batches the *syncs*: votes buffer in
+//! the log tail and one flush (armed by the acceptor's `TOK_FLUSH` timer)
+//! makes the whole batch durable as a single counted disk write. The
+//! matching soundness change — "2b"s defer to the flush tick, so no
+//! acceptor ever announces a vote a crash could erase — is what the
+//! `model_check` suite exhausts; this module measures what the batching
+//! buys.
+//!
+//! The same paced command stream runs once per flush policy and the run
+//! records total acceptor syncs, the amortization ratio against the
+//! per-vote baseline, and the latency the deferral costs.
+//! `bench_wal --check` fails CI if group commit stops amortizing
+//! (reduction < 5×), loses commands, or surfaces corrupt records.
+
+use crate::harness::ClusterHarness;
+use mcpaxos_actor::{SimDuration, SimTime, WalStore};
+use mcpaxos_core::{DeployConfig, Durability, Policy};
+use mcpaxos_cstruct::CStruct;
+use mcpaxos_cstruct::CmdSet;
+use mcpaxos_simnet::NetConfig;
+
+type Set = CmdSet<u32>;
+
+/// Number of commands in the standard E11 run.
+pub const WAL_COMMANDS: u32 = 1_000;
+/// Group-commit interval (ticks) of the headline batching run.
+pub const WAL_GROUP_COMMIT: u64 = 8;
+/// Injection pacing: one command per tick, so a flush window covers
+/// several buffered votes.
+pub const WAL_PACE: u64 = 1;
+
+/// Measurements of one WAL run under a fixed flush policy.
+#[derive(Clone, Debug)]
+pub struct WalRunStats {
+    /// Flush-policy label ("per-vote" or "gc=N").
+    pub label: String,
+    /// Group-commit interval in ticks (0 = flush per vote).
+    pub group_commit: u64,
+    /// Commands injected (and required to be learned).
+    pub commands: u32,
+    /// Commands actually learned by the learner.
+    pub learned: usize,
+    /// Synchronous disk writes summed over all acceptors (the §4.4 unit:
+    /// per-vote syncs for the baseline, non-empty flushes under batching).
+    pub acc_syncs: u64,
+    /// Syncs per command per acceptor.
+    pub syncs_per_cmd: f64,
+    /// Corrupt records surfaced by any acceptor store (must be 0 in a
+    /// crash-free run).
+    pub corrupt_records: u64,
+    /// Mean learning latency in ticks.
+    pub mean_latency: f64,
+    /// Maximum learning latency in ticks (the deferral stall bound).
+    pub max_latency: u64,
+}
+
+/// Runs the E11 command stream over WAL-backed acceptors with the given
+/// group-commit interval (0 = per-vote flushing, the E7-style baseline).
+pub fn wal_run(group_commit: u64, n: u32) -> WalRunStats {
+    let cfg = DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated)
+        .with_durability(Durability::Reduced)
+        .with_group_commit(SimDuration(group_commit));
+    // Group commit pairs with a buffering store; per-vote flushing is the
+    // synchronous baseline (same pairing rule as the model checker).
+    let buffered = group_commit > 0;
+    let mut h: ClusterHarness<Set> =
+        ClusterHarness::with_storage(cfg, 23, NetConfig::lockstep(), move |_| {
+            if buffered {
+                Box::new(WalStore::new())
+            } else {
+                Box::new(WalStore::synchronous())
+            }
+        });
+
+    for i in 0..n {
+        h.propose_at(SimTime(100 + WAL_PACE * u64::from(i)), 0, i);
+    }
+    let inject_end = 100 + WAL_PACE * u64::from(n);
+    h.run_until_learned(0, n as usize, inject_end + 60_000);
+
+    let learned = h.learned(0).count();
+    let acc_syncs: u64 = h.acceptor_writes().iter().sum();
+    let n_acc = h.cfg.roles.acceptors().len() as f64;
+    let corrupt_records: u64 = h
+        .cfg
+        .roles
+        .acceptors()
+        .iter()
+        .map(|&a| h.sim.storage(a).map(|s| s.corrupt_records()).unwrap_or(0))
+        .sum();
+
+    WalRunStats {
+        label: if group_commit == 0 {
+            "per-vote".to_string()
+        } else {
+            format!("gc={group_commit}")
+        },
+        group_commit,
+        commands: n,
+        learned,
+        acc_syncs,
+        syncs_per_cmd: acc_syncs as f64 / f64::from(n).max(1.0) / n_acc,
+        corrupt_records,
+        mean_latency: h.mean_latency(0),
+        max_latency: h.max_latency(0),
+    }
+}
+
+/// Disk-write amortization of `batched` against the per-vote `baseline` —
+/// the quantity the ≥ 5× CI floor is on.
+pub fn sync_reduction(baseline: &WalRunStats, batched: &WalRunStats) -> f64 {
+    baseline.acc_syncs as f64 / batched.acc_syncs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small smoke run (the full 1k-command comparison lives in
+    /// `bench_wal --check`, which CI runs in release).
+    #[test]
+    fn wal_run_smoke() {
+        let baseline = wal_run(0, 100);
+        let batched = wal_run(WAL_GROUP_COMMIT, 100);
+        assert_eq!(baseline.learned, 100);
+        assert_eq!(batched.learned, 100);
+        assert_eq!(baseline.corrupt_records, 0);
+        assert_eq!(batched.corrupt_records, 0);
+        assert!(
+            sync_reduction(&baseline, &batched) > 2.0,
+            "no amortization: {baseline:?} vs {batched:?}"
+        );
+    }
+}

@@ -12,10 +12,10 @@
 //! * under [`Durability::Naive`], the full `rnd` is also written on every
 //!   `Phase1b`, the baseline the E7 experiment compares against.
 
-use crate::agents::{metrics, TOK_A_RESEND};
+use crate::agents::{metrics, TOK_A_RESEND, TOK_FLUSH};
 use crate::compact::{Compactor, Resolved};
 use crate::config::{CollisionPolicy, DeployConfig, Durability};
-use crate::msg::{Msg, Payload};
+use crate::msg::{value_digest, Msg, Payload};
 use crate::provedsafe::{pick, proved_safe, OneB};
 use crate::round::Round;
 use crate::schedule::RoundKind;
@@ -58,6 +58,11 @@ pub struct Acceptor<C: CStruct> {
     /// Per peer: the round and logical value length of the last "2b" we
     /// shipped it — the base the next delta extends.
     sent_2b: BTreeMap<ProcessId, (Round, u64)>,
+    /// Group commit: whether a `TOK_FLUSH` tick is armed.
+    flush_armed: bool,
+    /// Group commit: a "2b" broadcast is waiting for the next flush (a 2b
+    /// must never announce a vote that is not yet durable).
+    pending_2b: bool,
 }
 
 impl<C: CStruct> Acceptor<C> {
@@ -76,6 +81,8 @@ impl<C: CStruct> Acceptor<C> {
             fast_buf: Vec::new(),
             comp,
             sent_2b: BTreeMap::new(),
+            flush_armed: false,
+            pending_2b: false,
         }
     }
 
@@ -133,7 +140,20 @@ impl<C: CStruct> Acceptor<C> {
         }
     }
 
+    /// Whether vote persistence is group-committed (deferred flushes).
+    fn group_commit_on(&self) -> bool {
+        self.cfg.group_commit.ticks() > 0
+    }
+
     fn send_1b(&mut self, round: Round, ctx: &mut dyn Context<Msg<C>>) {
+        // Group commit: a "1b" is *evidence* — ProvedSafe folds the
+        // reported `(vrnd, vval)` into its safety argument, so the report
+        // must never run ahead of the durable state (a phantom vote that a
+        // crash then rolls back could make `pick()` choose wrongly).
+        // Flush synchronously; joins are per-round, so this stays cheap.
+        if self.group_commit_on() {
+            ctx.storage().flush();
+        }
         let coords = self.cfg.schedule.coordinators_of(round);
         // One clone into the Arc; the fan-out then shares it. 1b values
         // are always shipped full: the receiving coordinator generally
@@ -179,7 +199,22 @@ impl<C: CStruct> Acceptor<C> {
         }
     }
 
+    /// Broadcasts the current vote, deferring to the next group-commit
+    /// flush when one is configured: a "2b" announces a durable vote, so
+    /// it must not leave before the write buffering it is synced.
     fn broadcast_2b(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if self.group_commit_on() {
+            self.pending_2b = true;
+            if !self.flush_armed {
+                self.flush_armed = true;
+                ctx.set_timer(self.cfg.group_commit, TOK_FLUSH);
+            }
+            return;
+        }
+        self.broadcast_2b_now(ctx);
+    }
+
+    fn broadcast_2b_now(&mut self, ctx: &mut dyn Context<Msg<C>>) {
         let learners = self.cfg.roles.learners().to_vec();
         // Coordinators monitor 2b traffic for progress tracking, fast
         // collision detection and coordinated recovery (§4.2–4.3).
@@ -222,6 +257,10 @@ impl<C: CStruct> Acceptor<C> {
         // which reset the peer's base.
         let round = self.vrnd;
         let total = self.vval.total_len();
+        // One digest of the current value for every delta this round: the
+        // receiver recomputes it over its reconstruction and rejects
+        // silently divergent equal-length bases (answers `NeedFull`).
+        let digest = value_digest(&self.vval);
         let mut full: Option<Arc<C>> = None;
         for &t in learners.iter().chain(&coords).chain(&peers) {
             let base = match self.sent_2b.get(&t) {
@@ -231,7 +270,11 @@ impl<C: CStruct> Acceptor<C> {
             let payload = match base.and_then(|len| Some((len, self.vval.suffix_from(len)?))) {
                 Some((base_len, suffix)) => {
                     ctx.metric(Metric::incr(metrics::DELTA_SENDS));
-                    Payload::Delta { base_len, suffix }
+                    Payload::Delta {
+                        base_len,
+                        digest,
+                        suffix,
+                    }
                 }
                 None => {
                     let arc = full
@@ -515,6 +558,11 @@ impl<C: CStruct> Acceptor<C> {
     fn join_recovery(&mut self, next: Round, ctx: &mut dyn Context<Msg<C>>) {
         self.rnd = next;
         self.persist_round(ctx);
+        // Binding recovery reports are 1b evidence: sync any buffered
+        // vote/promise writes before they leave (see `send_1b`).
+        if self.group_commit_on() {
+            ctx.storage().flush();
+        }
         let me = ctx.me();
         let shared = Arc::new(self.vval.clone());
         let report = OneB {
@@ -591,23 +639,57 @@ impl<C: CStruct> Actor for Acceptor<C> {
     }
 
     fn on_recover(&mut self, ctx: &mut dyn Context<Msg<C>>) {
-        if let Some(bytes) = ctx.storage().read(KEY_VOTE) {
-            let (vrnd, vval): (Round, C) =
-                from_bytes(bytes).expect("corrupt vote in stable storage");
-            self.vrnd = vrnd;
-            self.vval = vval;
-            // The persisted vote carries its watermark; resume compaction
-            // there (the normalization window refills from fresh Stable
-            // segments).
-            self.comp.resume(self.vval.watermark());
+        // Log-level damage (torn or corrupt WAL tail) that the store
+        // truncated away at replay: surface it for operators.
+        let repaired = ctx.storage().corrupt_records();
+        if repaired > 0 {
+            ctx.metric(Metric::add(metrics::CORRUPT_RECORDS, repaired as i64));
+        }
+        // Copy records out before decoding: decode failures emit metrics,
+        // which need `ctx` back.
+        let vote_bytes: Option<Vec<u8>> = ctx.storage().read(KEY_VOTE).map(|b| b.to_vec());
+        let mut have_vote = false;
+        if let Some(bytes) = vote_bytes {
+            match from_bytes::<(Round, C)>(&bytes) {
+                Ok((vrnd, vval)) => {
+                    self.vrnd = vrnd;
+                    self.vval = vval;
+                    have_vote = true;
+                    // The persisted vote carries its watermark; resume
+                    // compaction there (the normalization window refills
+                    // from fresh Stable segments).
+                    self.comp.resume(self.vval.watermark());
+                }
+                Err(_) => {
+                    // Undecodable vote record: recover from bottom, as if
+                    // the vote had never been flushed — a state every
+                    // asynchronous run already tolerates. Crashing here
+                    // (the old behavior) turned one bad record into a
+                    // permanent crash loop.
+                    ctx.metric(Metric::incr(metrics::CORRUPT_RECORDS));
+                }
+            }
         }
         match self.cfg.durability {
             Durability::Reduced => {
-                let major: u32 = ctx
-                    .storage()
-                    .read(KEY_MAJOR)
-                    .map(|b| from_bytes(b).expect("corrupt major"))
-                    .unwrap_or(0);
+                let major_bytes: Option<Vec<u8>> =
+                    ctx.storage().read(KEY_MAJOR).map(|b| b.to_vec());
+                let major: u32 = match major_bytes {
+                    Some(b) => from_bytes(&b).unwrap_or_else(|_| {
+                        // Corrupt MCount: the vote's own round is the
+                        // strongest surviving evidence of majors seen.
+                        ctx.metric(Metric::incr(metrics::CORRUPT_RECORDS));
+                        self.vrnd.major
+                    }),
+                    None if have_vote => {
+                        // `on_start` writes MCount before any vote can be
+                        // cast, so a surviving vote without it means the
+                        // record was *lost*, not that we never started.
+                        ctx.metric(Metric::incr(metrics::LOST_RECORDS));
+                        self.vrnd.major
+                    }
+                    None => 0, // genuinely never started
+                };
                 // Resume one major epoch up: dominates every round we may
                 // have promised in volatile state, then persist the bump.
                 self.persisted_major = major + 1;
@@ -616,11 +698,25 @@ impl<C: CStruct> Actor for Acceptor<C> {
                     .write(KEY_MAJOR, to_bytes(&self.persisted_major));
             }
             Durability::Naive => {
-                self.rnd = ctx
-                    .storage()
-                    .read(KEY_RND)
-                    .map(|b| from_bytes(b).expect("corrupt rnd"))
-                    .unwrap_or(Round::ZERO);
+                let rnd_bytes: Option<Vec<u8>> = ctx.storage().read(KEY_RND).map(|b| b.to_vec());
+                self.rnd = match rnd_bytes {
+                    Some(b) => from_bytes(&b).unwrap_or_else(|_| {
+                        // Corrupt promise record: fall back to `vrnd`, the
+                        // strongest promise with surviving evidence.
+                        ctx.metric(Metric::incr(metrics::CORRUPT_RECORDS));
+                        self.vrnd
+                    }),
+                    None if have_vote => {
+                        // Naive mode persists `rnd` at startup: a vote
+                        // without a promise record means the record was
+                        // lost. Re-promising from zero here would let us
+                        // answer old "1a"s we already promised past —
+                        // distinguish "record lost" from "never started".
+                        ctx.metric(Metric::incr(metrics::LOST_RECORDS));
+                        self.vrnd
+                    }
+                    None => Round::ZERO, // genuinely never started
+                };
                 if self.rnd < self.vrnd {
                     self.rnd = self.vrnd;
                 }
@@ -778,6 +874,14 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 self.broadcast_2b(ctx);
             }
             self.arm_resend(ctx);
+        } else if token == TOK_FLUSH {
+            // Group commit: sync every vote buffered since the last tick
+            // in one disk write, then release the deferred "2b".
+            ctx.storage().flush();
+            self.flush_armed = false;
+            if std::mem::take(&mut self.pending_2b) {
+                self.broadcast_2b_now(ctx);
+            }
         }
     }
 }

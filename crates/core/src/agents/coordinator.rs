@@ -191,6 +191,9 @@ impl<C: CStruct> Coordinator<C> {
             );
             return;
         }
+        // Digest of the shipped value: lets receivers reject deltas whose
+        // base silently diverged despite matching lengths.
+        let digest = crate::msg::value_digest(val);
         let mut full: Option<Arc<C>> = None;
         for &t in targets {
             let base = match self.sent_2a.get(&t) {
@@ -200,7 +203,11 @@ impl<C: CStruct> Coordinator<C> {
             let payload = match base.and_then(|len| Some((len, val.suffix_from(len)?))) {
                 Some((base_len, suffix)) => {
                     ctx.metric(Metric::incr(metrics::DELTA_SENDS));
-                    Payload::Delta { base_len, suffix }
+                    Payload::Delta {
+                        base_len,
+                        digest,
+                        suffix,
+                    }
                 }
                 None => {
                     let arc = full.get_or_insert_with(|| Arc::new(val.clone())).clone();
@@ -516,8 +523,22 @@ impl<C: CStruct> Actor for Coordinator<C> {
     }
 
     fn on_recover(&mut self, ctx: &mut dyn Context<Msg<C>>) {
-        if let Some(bytes) = ctx.storage().read(KEY_FLOOR) {
-            self.floor = from_bytes(bytes).expect("corrupt coordinator floor");
+        let repaired = ctx.storage().corrupt_records();
+        if repaired > 0 {
+            ctx.metric(Metric::add(metrics::CORRUPT_RECORDS, repaired as i64));
+        }
+        let floor_bytes: Option<Vec<u8>> = ctx.storage().read(KEY_FLOOR).map(|b| b.to_vec());
+        if let Some(bytes) = floor_bytes {
+            match from_bytes(&bytes) {
+                Ok(f) => self.floor = f,
+                Err(_) => {
+                    // Undecodable floor record: keep ZERO. The floor is a
+                    // liveness hint (it stops a recovered leader from
+                    // re-proposing old rounds); safety never depends on
+                    // it, so degrading beats a crash loop.
+                    ctx.metric(Metric::incr(metrics::CORRUPT_RECORDS));
+                }
+            }
         }
         // crnd stays ZERO: we no longer coordinate the pre-crash round.
         // But bootstrap max_heard to the floor, or a recovered leader

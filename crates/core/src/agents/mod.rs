@@ -26,6 +26,9 @@ pub const TOK_A_RESEND: TimerToken = TimerToken(3);
 /// Designated-learner stable-segment re-gossip tick (compaction
 /// liveness under message loss).
 pub const TOK_STABLE_GOSSIP: TimerToken = TimerToken(4);
+/// Acceptor group-commit flush tick: buffered vote writes are synced and
+/// the deferred "2b" broadcast goes out (§4.4 disk-write amortization).
+pub const TOK_FLUSH: TimerToken = TimerToken(5);
 
 /// Metric names emitted by the agents (collected by the host runtime).
 pub mod metrics {
@@ -64,4 +67,11 @@ pub mod metrics {
     pub const FULL_RESYNCS: &str = "full_resyncs";
     /// Stable segments truncated out of an agent's live state.
     pub const TRUNCATIONS: &str = "truncations";
+    /// Stable-storage records found undecodable at recovery (the agent
+    /// fell back to the last good state instead of crashing).
+    pub const CORRUPT_RECORDS: &str = "corrupt_records";
+    /// Stable-storage records that should exist but were missing at
+    /// recovery (e.g. a promise record lost to a torn tail while the vote
+    /// survived): recovered conservatively, surfaced for operators.
+    pub const LOST_RECORDS: &str = "lost_records";
 }

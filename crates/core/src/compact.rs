@@ -237,6 +237,7 @@ impl<C: CStruct> Compactor<C> {
             }
             Payload::Delta {
                 base_len,
+                digest,
                 mut suffix,
             } => {
                 let b = match base {
@@ -248,11 +249,26 @@ impl<C: CStruct> Compactor<C> {
                 // live window.
                 suffix.retain(|c| !self.contains_recent(c));
                 if suffix.is_empty() && base_len <= b.total_len() {
-                    return Resolved::Value(b.clone(), false); // pure keep-alive
+                    // Pure keep-alive: the sender claims our base IS its
+                    // value. A digest mismatch means the base diverged
+                    // (e.g. rolled back by a crash) — resync.
+                    if crate::msg::value_digest(&**b) != digest {
+                        return Resolved::Gap;
+                    }
+                    return Resolved::Value(b.clone(), false);
                 }
                 let mut owned = (**b).clone();
                 match owned.apply_suffix(base_len, &suffix) {
-                    Ok(appended) => Resolved::Value(Arc::new(owned), appended > 0),
+                    Ok(appended) => {
+                        // The suffix applied positionally, but `base_len`
+                        // alone cannot authenticate the base: verify the
+                        // reconstruction against the sender's digest and
+                        // treat divergence exactly like a gap.
+                        if crate::msg::value_digest(&owned) != digest {
+                            return Resolved::Gap;
+                        }
+                        Resolved::Value(Arc::new(owned), appended > 0)
+                    }
                     Err(_) => Resolved::Gap,
                 }
             }
@@ -346,11 +362,12 @@ mod tests {
     fn resolve_applies_deltas_and_flags_gaps() {
         let c: Compactor<H> = Compactor::new(4);
         let base = Arc::new(h(4));
-        // Suffix extending the base.
+        // Suffix extending the base, digested as the sender would.
         let suffix: Vec<K> = (4..6).map(|i| K(i % 4, i)).collect();
         match c.resolve(
             Payload::Delta {
                 base_len: 4,
+                digest: crate::msg::value_digest(&h(6)),
                 suffix,
             },
             Some(&base),
@@ -366,6 +383,7 @@ mod tests {
             c.resolve(
                 Payload::Delta {
                     base_len: 9,
+                    digest: crate::msg::value_digest(&h(10)),
                     suffix: vec![K(0, 9)]
                 },
                 Some(&base)
@@ -377,9 +395,51 @@ mod tests {
             c.resolve(
                 Payload::Delta {
                     base_len: 0,
+                    digest: crate::msg::value_digest(&h(1)),
                     suffix: vec![K(0, 0)]
                 },
                 None
+            ),
+            Resolved::Gap
+        ));
+    }
+
+    #[test]
+    fn resolve_rejects_equal_length_divergent_base() {
+        let c: Compactor<H> = Compactor::new(4);
+        // The sender extends ITS history 0..4 by 4..6 and digests the
+        // result; the receiver's stored base has the same LENGTH but a
+        // divergent command at position 3 (the post-crash rollback
+        // scenario). Length-only matching would silently misapply.
+        let mut divergent = h(3);
+        divergent.append(K(0, 99));
+        let base = Arc::new(divergent);
+        assert_eq!(base.total_len(), 4);
+        let suffix: Vec<K> = (4..6).map(|i| K(i % 4, i)).collect();
+        let sender_digest = crate::msg::value_digest(&h(6));
+        assert!(
+            matches!(
+                c.resolve(
+                    Payload::Delta {
+                        base_len: 4,
+                        digest: sender_digest,
+                        suffix,
+                    },
+                    Some(&base)
+                ),
+                Resolved::Gap
+            ),
+            "divergent base of equal length must force a full resync"
+        );
+        // Keep-alive against a divergent base is rejected too.
+        assert!(matches!(
+            c.resolve(
+                Payload::Delta {
+                    base_len: 4,
+                    digest: crate::msg::value_digest(&h(4)),
+                    suffix: vec![],
+                },
+                Some(&base)
             ),
             Resolved::Gap
         ));

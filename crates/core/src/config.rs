@@ -148,6 +148,12 @@ pub struct DeployConfig {
     pub timing: Timing,
     /// Delta shipping, compaction and checkpoint policy.
     pub wire: WireConfig,
+    /// Acceptor group-commit interval: with a write-ahead-log store, vote
+    /// writes buffer and the "2b" announcing them is deferred until the
+    /// next flush tick, amortizing many accepts into one disk write
+    /// (§4.4's per-accept write is the `SimDuration(0)` default, which
+    /// flushes synchronously and changes nothing).
+    pub group_commit: SimDuration,
 }
 
 impl DeployConfig {
@@ -178,7 +184,15 @@ impl DeployConfig {
             notify_learned: true,
             timing: Timing::default(),
             wire: WireConfig::default(),
+            group_commit: SimDuration(0),
         }
+    }
+
+    /// Returns `self` with the given group-commit flush interval
+    /// (`SimDuration(0)` = flush synchronously on every vote).
+    pub fn with_group_commit(mut self, every: SimDuration) -> Self {
+        self.group_commit = every;
+        self
     }
 
     /// Returns `self` with the given collision policy.

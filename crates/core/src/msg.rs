@@ -15,13 +15,20 @@ use std::sync::Arc;
 /// hold.
 ///
 /// Senders that just shipped a value of `base_len` commands to a peer can
-/// follow up with `Delta { base_len, suffix }` — the commands at logical
-/// positions `base_len..` — turning the O(n²) cumulative cost of
+/// follow up with `Delta { base_len, digest, suffix }` — the commands at
+/// logical positions `base_len..` — turning the O(n²) cumulative cost of
 /// re-serializing ever-growing histories into O(n). Receivers reconstruct
 /// against their stored copy of the sender's last value and answer
 /// [`Msg::NeedFull`] on a gap (lost base, truncated past the base), upon
 /// which the sender falls back to `Full`. `Full` payloads are `Arc`-shared
 /// exactly as before: fan-out clones a pointer, not the history.
+///
+/// `base_len` alone cannot authenticate the base: after a crash/recover a
+/// receiver can hold an equal-length-but-divergent value (e.g. a vote
+/// rolled back to an older history of the same length), and appending the
+/// suffix to it would silently corrupt the reconstruction. `digest` is
+/// [`value_digest`] of the *result* the sender intends; receivers verify
+/// it after applying the suffix and treat a mismatch exactly like a gap.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Payload<C: CStruct> {
     /// The whole c-struct, shared across the fan-out.
@@ -33,9 +40,49 @@ pub enum Payload<C: CStruct> {
     Delta {
         /// Logical length of the base the suffix extends.
         base_len: u64,
+        /// [`value_digest`] of the sender's full value (base + suffix):
+        /// what the receiver must reconstruct.
+        digest: u64,
         /// The commands beyond the base, in the sender's order.
         suffix: Vec<C::Cmd>,
     },
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content digest of a c-struct, for delta-base validation (FNV-1a over
+/// the watermark and the wire encoding of every live command, in
+/// representation order).
+///
+/// Two equal values always digest equally. The watermark is included so a
+/// receiver whose compaction frontier diverges from the sender's digests
+/// differently and conservatively resyncs. C-structs without a sequence
+/// representation ([`CStruct::suffix_from`] returns `None`) digest their
+/// logical length only — they never ship deltas, so the digest is never
+/// compared.
+pub fn value_digest<C: CStruct>(v: &C) -> u64 {
+    let wm = v.watermark();
+    let mut h = fnv1a(FNV_OFFSET, &wm.to_le_bytes());
+    match v.suffix_from(wm) {
+        Some(cmds) => {
+            let mut buf = Vec::new();
+            for c in &cmds {
+                buf.clear();
+                c.encode(&mut buf);
+                h = fnv1a(h, &buf);
+            }
+        }
+        None => h = fnv1a(h, &v.total_len().to_le_bytes()),
+    }
+    h
 }
 
 impl<C: CStruct> Payload<C> {
@@ -87,9 +134,14 @@ impl<C: CStruct> Wire for Payload<C> {
                 out.push(0);
                 v.encode(out);
             }
-            Payload::Delta { base_len, suffix } => {
+            Payload::Delta {
+                base_len,
+                digest,
+                suffix,
+            } => {
                 out.push(1);
                 base_len.encode(out);
+                digest.encode(out);
                 suffix.encode(out);
             }
         }
@@ -99,6 +151,7 @@ impl<C: CStruct> Wire for Payload<C> {
             0 => Ok(Payload::Full(Arc::<C>::decode(input)?)),
             1 => Ok(Payload::Delta {
                 base_len: u64::decode(input)?,
+                digest: u64::decode(input)?,
                 suffix: Wire::decode(input)?,
             }),
             _ => Err(WireError {
@@ -462,6 +515,7 @@ mod tests {
                 round: Round::new(1, 0, 0, 1),
                 val: Payload::Delta {
                     base_len: 3,
+                    digest: 0xDEAD_BEEF,
                     suffix: vec![4, 5],
                 },
             },

@@ -1,0 +1,642 @@
+//! Depth-bounded exhaustive interleaving exploration.
+//!
+//! The seeded simulator ([`crate::Sim`]) samples *one* schedule per seed;
+//! this module instead enumerates **every** schedule of a small
+//! configuration up to a depth bound — the "small-scope" model-checking
+//! discipline: most protocol bugs already manifest in tiny configurations
+//! (two coordinators, three acceptors, one crash), so exhaustively
+//! checking those catches interleavings that random seeds practically
+//! never hit, such as a crash landing exactly between a vote being
+//! buffered and the group-commit flush that would have made it durable.
+//!
+//! The state space is explored by stateless depth-first search: actors are
+//! not cloneable, so instead of snapshotting states the explorer re-executes
+//! the choice prefix from a fresh [`ExploreNet`] at every tree node. All
+//! sources of nondeterminism other than the schedule are pinned (no message
+//! loss, unit conceptual delay, a constant for [`mcpaxos_actor::Context::random`]),
+//! so a choice sequence determines the reached state exactly.
+//!
+//! At every node the caller's invariant runs against the full network
+//! state; per-path observer state (e.g. "the learner's value only grows")
+//! is threaded through an accumulator that is recomputed during each
+//! replay.
+
+use crate::sim::StorageFactory;
+use mcpaxos_actor::{
+    Actor, Context, MemStore, Metric, ProcessId, SimDuration, SimTime, StableStore, TimerToken,
+};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+type ActorBox<M> = Box<dyn Actor<Msg = M>>;
+
+/// One scheduling decision of the explorer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Deliver the in-flight message at this index of the pending queue.
+    Deliver(usize),
+    /// Fire an armed timer at a process.
+    Fire(ProcessId, TimerToken),
+    /// Crash a process (volatile state and unflushed storage writes die).
+    Crash(ProcessId),
+    /// Recover a crashed process (fresh actor + `on_recover` replay).
+    Recover(ProcessId),
+}
+
+/// Bounds on the exploration. The defaults are deliberately tiny; every
+/// increment of `max_depth` multiplies the tree by the branching factor.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum choices per path (tree depth).
+    pub max_depth: usize,
+    /// Maximum `Crash` choices per path.
+    pub max_crashes: usize,
+    /// Maximum `Fire` choices per path (timers re-arm, so unbounded
+    /// firing makes the tree infinite).
+    pub max_timer_fires: usize,
+    /// Hard cap on explored paths; hitting it sets
+    /// [`ExploreStats::truncated`] instead of looping forever.
+    pub max_paths: u64,
+    /// Processes the explorer may crash and recover. Keep this small —
+    /// each candidate adds crash/recover branches at every level.
+    pub crash_candidates: Vec<ProcessId>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 6,
+            max_crashes: 1,
+            max_timer_fires: 2,
+            max_paths: 2_000_000,
+            crash_candidates: Vec::new(),
+        }
+    }
+}
+
+/// Outcome counters of an exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Complete paths explored (leaves of the choice tree).
+    pub paths: u64,
+    /// Tree nodes visited (states checked against the invariant).
+    pub states: u64,
+    /// Largest branching factor seen at any node.
+    pub max_branch: usize,
+    /// Whether `max_paths` cut the exploration short.
+    pub truncated: bool,
+}
+
+/// A failed invariant, with the choice path that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The choice sequence from the initial state to the violation.
+    pub path: Vec<Choice>,
+    /// The invariant's error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violated: {}", self.message)?;
+        writeln!(f, "reproducing schedule ({} choices):", self.path.len())?;
+        for (i, c) in self.path.iter().enumerate() {
+            writeln!(f, "  {i:3}: {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+struct ENode<M> {
+    actor: Option<ActorBox<M>>,
+    factory: Box<dyn FnMut() -> ActorBox<M>>,
+    up: bool,
+    storage: Box<dyn StableStore>,
+    timers: BTreeSet<TimerToken>,
+}
+
+/// The explorable network: a process table plus a queue of in-flight
+/// messages, with *no* clock-driven event heap — when things happen is
+/// entirely up to the sequence of [`Choice`]s applied.
+pub struct ExploreNet<M> {
+    procs: BTreeMap<ProcessId, ENode<M>>,
+    /// In-flight messages as `(to, from, msg)`, in send order.
+    pending: Vec<(ProcessId, ProcessId, M)>,
+    now: SimTime,
+    storage_factory: StorageFactory,
+}
+
+impl<M: Clone + Debug + 'static> Default for ExploreNet<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone + Debug + 'static> ExploreNet<M> {
+    /// An empty network.
+    pub fn new() -> Self {
+        ExploreNet {
+            procs: BTreeMap::new(),
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+            storage_factory: Box::new(|_| Box::new(MemStore::new())),
+        }
+    }
+
+    /// Installs the storage factory consulted by subsequent
+    /// [`ExploreNet::add_process`] calls (mirrors
+    /// [`crate::Sim::set_storage_factory`]).
+    pub fn set_storage_factory<F>(&mut self, factory: F)
+    where
+        F: FnMut(ProcessId) -> Box<dyn StableStore> + 'static,
+    {
+        self.storage_factory = Box::new(factory);
+    }
+
+    /// Registers a process and runs its `on_start`. Sends performed during
+    /// start-up join the pending queue like any others.
+    pub fn add_process<F>(&mut self, pid: ProcessId, mut factory: F)
+    where
+        F: FnMut() -> ActorBox<M> + 'static,
+    {
+        let actor = factory();
+        let storage = (self.storage_factory)(pid);
+        let prev = self.procs.insert(
+            pid,
+            ENode {
+                actor: Some(actor),
+                factory: Box::new(factory),
+                up: true,
+                storage,
+                timers: BTreeSet::new(),
+            },
+        );
+        assert!(prev.is_none(), "process {pid} registered twice");
+        self.upcall(pid, EKind::Start);
+    }
+
+    /// Adds `msg` to the in-flight queue (client traffic, scripted
+    /// prefixes).
+    pub fn inject(&mut self, to: ProcessId, from: ProcessId, msg: M) {
+        self.pending.push((to, from, msg));
+    }
+
+    /// The in-flight messages, in queue order.
+    pub fn pending(&self) -> &[(ProcessId, ProcessId, M)] {
+        &self.pending
+    }
+
+    /// Whether `p` is currently up.
+    pub fn is_up(&self, p: ProcessId) -> bool {
+        self.procs.get(&p).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// All registered process ids.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Immutable access to `p`'s actor, downcast to its concrete type.
+    pub fn actor<A: Actor<Msg = M>>(&self, p: ProcessId) -> Option<&A> {
+        let node = self.procs.get(&p)?;
+        let a: &dyn Actor<Msg = M> = node.actor.as_deref()?;
+        let any: &dyn Any = a;
+        any.downcast_ref::<A>()
+    }
+
+    /// The stable storage of `p`.
+    pub fn storage(&self, p: ProcessId) -> Option<&(dyn StableStore + '_)> {
+        self.procs.get(&p).map(|n| n.storage.as_ref())
+    }
+
+    /// Enumerates every choice enabled in the current state, in a
+    /// deterministic order. Identical in-flight messages (same recipient,
+    /// sender and `Debug` rendering) yield a single `Deliver` choice:
+    /// delivering either copy reaches the same state, so exploring both
+    /// only inflates the tree (partial-order reduction in its simplest
+    /// form). Budgets (`max_crashes`, `max_timer_fires`) are enforced by
+    /// the [`explore`] driver, not here.
+    pub fn choices(&self, cfg: &ExploreConfig) -> Vec<Choice> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for (i, (to, from, msg)) in self.pending.iter().enumerate() {
+            if !self.is_up(*to) {
+                continue; // delivering to a down process is a no-op state
+            }
+            if seen.insert((*to, *from, format!("{msg:?}"))) {
+                out.push(Choice::Deliver(i));
+            }
+        }
+        for (&p, node) in &self.procs {
+            if node.up {
+                for &t in &node.timers {
+                    out.push(Choice::Fire(p, t));
+                }
+            }
+        }
+        for &p in &cfg.crash_candidates {
+            match self.procs.get(&p) {
+                Some(n) if n.up => out.push(Choice::Crash(p)),
+                Some(_) => out.push(Choice::Recover(p)),
+                None => {}
+            }
+        }
+        out
+    }
+
+    /// Applies one choice. Panics on structurally invalid choices (bad
+    /// index, unarmed timer) — replayed paths are always valid because
+    /// execution is deterministic.
+    pub fn apply(&mut self, choice: &Choice) {
+        self.now += SimDuration(1);
+        match choice {
+            Choice::Deliver(i) => {
+                let (to, from, msg) = self.pending.remove(*i);
+                if self.is_up(to) {
+                    self.upcall(to, EKind::Msg(from, msg));
+                }
+            }
+            Choice::Fire(p, t) => {
+                let armed = self
+                    .procs
+                    .get_mut(p)
+                    .map(|n| n.up && n.timers.remove(t))
+                    .unwrap_or(false);
+                assert!(armed, "Fire({p}, {t:?}) on unarmed timer");
+                self.upcall(*p, EKind::Timer(*t));
+            }
+            Choice::Crash(p) => {
+                let n = self.procs.get_mut(p).expect("crash of unknown process");
+                assert!(n.up, "Crash({p}) while down");
+                n.up = false;
+                n.actor = None;
+                n.timers.clear();
+                n.storage.lose_unflushed();
+            }
+            Choice::Recover(p) => {
+                let n = self.procs.get_mut(p).expect("recover of unknown process");
+                assert!(!n.up, "Recover({p}) while up");
+                n.actor = Some((n.factory)());
+                n.up = true;
+                self.upcall(*p, EKind::Recover);
+            }
+        }
+    }
+
+    fn upcall(&mut self, pid: ProcessId, kind: EKind<M>) {
+        let (mut actor, mut storage) = {
+            let node = match self.procs.get_mut(&pid) {
+                Some(n) if n.up => n,
+                _ => return,
+            };
+            let actor = node.actor.take().expect("up process has an actor");
+            let storage = std::mem::replace(
+                &mut node.storage,
+                Box::new(MemStore::new()) as Box<dyn StableStore>,
+            );
+            (actor, storage)
+        };
+        let mut fx = EEffects::default();
+        {
+            let mut ctx = ECtx {
+                me: pid,
+                now: self.now,
+                storage: storage.as_mut(),
+                fx: &mut fx,
+            };
+            match kind {
+                EKind::Start => actor.on_start(&mut ctx),
+                EKind::Recover => actor.on_recover(&mut ctx),
+                EKind::Msg(from, m) => actor.on_message(from, m, &mut ctx),
+                EKind::Timer(t) => actor.on_timer(t, &mut ctx),
+            }
+        }
+        {
+            let node = self.procs.get_mut(&pid).expect("node exists");
+            node.actor = Some(actor);
+            node.storage = storage;
+            for t in fx.timer_cancels.drain(..) {
+                node.timers.remove(&t);
+            }
+            for t in fx.timer_sets.drain(..) {
+                node.timers.insert(t);
+            }
+        }
+        for (to, msg) in fx.sends.drain(..) {
+            self.pending.push((to, pid, msg));
+        }
+    }
+}
+
+enum EKind<M> {
+    Start,
+    Recover,
+    Msg(ProcessId, M),
+    Timer(TimerToken),
+}
+
+struct EEffects<M> {
+    sends: Vec<(ProcessId, M)>,
+    timer_sets: Vec<TimerToken>,
+    timer_cancels: Vec<TimerToken>,
+}
+
+impl<M> Default for EEffects<M> {
+    fn default() -> Self {
+        EEffects {
+            sends: Vec::new(),
+            timer_sets: Vec::new(),
+            timer_cancels: Vec::new(),
+        }
+    }
+}
+
+struct ECtx<'a, M> {
+    me: ProcessId,
+    now: SimTime,
+    storage: &'a mut dyn StableStore,
+    fx: &'a mut EEffects<M>,
+}
+
+impl<M> Context<M> for ECtx<'_, M> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.fx.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, _after: SimDuration, token: TimerToken) {
+        // Timer *durations* are irrelevant here: firing order is a
+        // scheduling choice, which is exactly what the explorer branches
+        // over.
+        self.fx.timer_sets.push(token);
+    }
+    fn cancel_timer(&mut self, token: TimerToken) {
+        self.fx.timer_cancels.push(token);
+    }
+    fn storage(&mut self) -> &mut dyn StableStore {
+        self.storage
+    }
+    fn metric(&mut self, _metric: Metric) {}
+    fn random(&mut self) -> u64 {
+        // Schedules are the only nondeterminism the explorer branches
+        // over; actor-requested randomness is pinned to a constant so a
+        // choice path fully determines the state.
+        0x9E37_79B9_7F4A_7C15
+    }
+}
+
+fn count_kind(path: &[Choice], want_crash: bool) -> usize {
+    path.iter()
+        .filter(|c| match c {
+            Choice::Crash(_) => want_crash,
+            Choice::Fire(..) => !want_crash,
+            _ => false,
+        })
+        .count()
+}
+
+/// Exhaustively explores every schedule of the network produced by
+/// `build`, up to the bounds in `cfg`, checking `invariant` at every
+/// reached state (including the initial one).
+///
+/// `build` constructs the network and may run a *scripted prefix*
+/// (deterministic [`ExploreNet::apply`]/[`ExploreNet::inject`] calls) to
+/// steer the system into an interesting region before branching begins.
+/// `invariant` receives the network and a per-path accumulator of type
+/// `S` (fresh at the path root), letting it assert path properties such
+/// as monotonic learner growth in addition to state properties.
+///
+/// Returns the exploration counters, or the first violation found with
+/// its reproducing schedule.
+pub fn explore<M, S, B, I>(
+    cfg: &ExploreConfig,
+    build: B,
+    invariant: I,
+) -> Result<ExploreStats, Box<Violation>>
+where
+    M: Clone + Debug + 'static,
+    S: Default,
+    B: Fn(&mut ExploreNet<M>),
+    I: Fn(&ExploreNet<M>, &mut S) -> Result<(), String>,
+{
+    let mut stats = ExploreStats::default();
+    let mut path = Vec::new();
+    dfs(cfg, &build, &invariant, &mut path, &mut stats)?;
+    Ok(stats)
+}
+
+/// One DFS node: replays `path` from scratch (checking the invariant at
+/// every step — replays are cheap at small depths and re-checking keeps
+/// the accumulator honest), then branches over the enabled choices.
+fn dfs<M, S, B, I>(
+    cfg: &ExploreConfig,
+    build: &B,
+    invariant: &I,
+    path: &mut Vec<Choice>,
+    stats: &mut ExploreStats,
+) -> Result<(), Box<Violation>>
+where
+    M: Clone + Debug + 'static,
+    S: Default,
+    B: Fn(&mut ExploreNet<M>),
+    I: Fn(&ExploreNet<M>, &mut S) -> Result<(), String>,
+{
+    let violate = |at: usize, message: String| {
+        Box::new(Violation {
+            path: path[..at].to_vec(),
+            message,
+        })
+    };
+
+    let mut net = ExploreNet::new();
+    build(&mut net);
+    let mut acc = S::default();
+    invariant(&net, &mut acc).map_err(|m| violate(0, m))?;
+    for (i, c) in path.iter().enumerate() {
+        net.apply(c);
+        invariant(&net, &mut acc).map_err(|m| violate(i + 1, m))?;
+    }
+    stats.states += 1;
+
+    if path.len() >= cfg.max_depth || stats.paths >= cfg.max_paths {
+        stats.truncated |= stats.paths >= cfg.max_paths;
+        stats.paths += 1;
+        return Ok(());
+    }
+
+    let crashes = count_kind(path, true);
+    let fires = count_kind(path, false);
+    let choices: Vec<Choice> = net
+        .choices(cfg)
+        .into_iter()
+        .filter(|c| match c {
+            Choice::Crash(_) => crashes < cfg.max_crashes,
+            Choice::Fire(..) => fires < cfg.max_timer_fires,
+            _ => true,
+        })
+        .collect();
+    drop(net);
+
+    if choices.is_empty() {
+        stats.paths += 1; // quiescent leaf
+        return Ok(());
+    }
+    stats.max_branch = stats.max_branch.max(choices.len());
+    for c in choices {
+        path.push(c);
+        dfs(cfg, build, invariant, path, stats)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::WalStore;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    /// Counts received messages; forwards the first one to the peer.
+    struct Relay {
+        peer: ProcessId,
+        got: Vec<u32>,
+    }
+
+    impl Actor for Relay {
+        type Msg = u32;
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32>) {
+            if self.got.is_empty() {
+                ctx.send(self.peer, msg + 1);
+            }
+            self.got.push(msg);
+            ctx.storage().write("last", msg.to_le_bytes().to_vec());
+        }
+        fn on_timer(&mut self, _t: TimerToken, _c: &mut dyn Context<u32>) {}
+    }
+
+    fn build_pair(net: &mut ExploreNet<u32>) {
+        net.add_process(P0, || {
+            Box::new(Relay {
+                peer: P1,
+                got: vec![],
+            })
+        });
+        net.add_process(P1, || {
+            Box::new(Relay {
+                peer: P0,
+                got: vec![],
+            })
+        });
+        net.inject(P0, P1, 10);
+        net.inject(P0, P1, 20);
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_messages() {
+        let cfg = ExploreConfig {
+            max_depth: 4,
+            ..ExploreConfig::default()
+        };
+        let stats = explore(&cfg, build_pair, |_net: &ExploreNet<u32>, _s: &mut ()| {
+            Ok(())
+        })
+        .expect("no violations");
+        // Two initial deliveries in either order, each spawning a relay
+        // message: more than one path, bounded branching.
+        assert!(stats.paths > 1, "expected multiple schedules: {stats:?}");
+        assert!(stats.max_branch >= 2);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn violation_reports_reproducing_path() {
+        let cfg = ExploreConfig {
+            max_depth: 3,
+            ..ExploreConfig::default()
+        };
+        let v = explore(&cfg, build_pair, |net: &ExploreNet<u32>, _s: &mut ()| {
+            let got = &net.actor::<Relay>(P0).unwrap().got;
+            if got.len() >= 2 {
+                Err(format!("P0 saw two messages: {got:?}"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("invariant must eventually fail");
+        assert!(v.message.contains("two messages"));
+        assert!(!v.path.is_empty());
+        // The path must replay to the same violation.
+        let mut net = ExploreNet::new();
+        build_pair(&mut net);
+        for c in &v.path {
+            net.apply(c);
+        }
+        assert_eq!(net.actor::<Relay>(P0).unwrap().got.len(), 2);
+    }
+
+    #[test]
+    fn crash_drops_unflushed_writes_and_recover_replays() {
+        let cfg = ExploreConfig {
+            max_depth: 3,
+            max_crashes: 1,
+            crash_candidates: vec![P0],
+            ..ExploreConfig::default()
+        };
+        // With a WAL store and no flush, a crash after delivery must lose
+        // the buffered write; the accumulator remembers whether P0 ever
+        // wrote, so the invariant can distinguish the two orders.
+        let stats = explore(
+            &cfg,
+            |net: &mut ExploreNet<u32>| {
+                net.set_storage_factory(|_| Box::new(WalStore::new()));
+                net.add_process(P0, || {
+                    Box::new(Relay {
+                        peer: P1,
+                        got: vec![],
+                    })
+                });
+                net.add_process(P1, || {
+                    Box::new(Relay {
+                        peer: P0,
+                        got: vec![],
+                    })
+                });
+                net.inject(P0, P1, 7);
+            },
+            |net: &ExploreNet<u32>, _s: &mut ()| {
+                if !net.is_up(P0) {
+                    return Ok(());
+                }
+                let st = net.storage(P0).unwrap();
+                // Flushed state is only ever empty here: nothing flushes.
+                if st.write_count() != 0 {
+                    return Err("unexpected flush".into());
+                }
+                Ok(())
+            },
+        )
+        .expect("no violations");
+        assert!(stats.paths >= 2, "crash/recover branches expected");
+    }
+
+    #[test]
+    fn max_paths_truncates() {
+        let cfg = ExploreConfig {
+            max_depth: 4,
+            max_paths: 2,
+            ..ExploreConfig::default()
+        };
+        let stats = explore(&cfg, build_pair, |_net: &ExploreNet<u32>, _s: &mut ()| {
+            Ok(())
+        })
+        .expect("no violations");
+        assert!(stats.truncated);
+    }
+}

@@ -37,9 +37,11 @@
 //! ```
 
 mod config;
+pub mod explore;
 mod sim;
 mod trace;
 
 pub use config::{DelayDist, NetConfig};
-pub use sim::{ByteMeter, ProcessStats, Sim, WireTotal};
+pub use explore::{explore, Choice, ExploreConfig, ExploreNet, ExploreStats, Violation};
+pub use sim::{ByteMeter, ProcessStats, Sim, StorageFactory, WireTotal};
 pub use trace::{TraceEntry, TraceKind};

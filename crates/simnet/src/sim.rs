@@ -14,6 +14,12 @@ use std::fmt::Debug;
 type ActorBox<M> = Box<dyn Actor<Msg = M>>;
 type Factory<M> = Box<dyn FnMut() -> ActorBox<M>>;
 
+/// Builds the stable storage for a newly registered process. The default
+/// factory hands every process a fresh [`MemStore`]; install a custom one
+/// with [`Sim::set_storage_factory`] to back processes with a
+/// write-ahead-log store instead.
+pub type StorageFactory = Box<dyn FnMut(ProcessId) -> Box<dyn StableStore>>;
+
 /// Per-process message counters, used by the load-balance experiment (E4).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProcessStats {
@@ -86,7 +92,7 @@ struct ProcNode<M> {
     actor: Option<ActorBox<M>>,
     factory: Factory<M>,
     up: bool,
-    storage: MemStore,
+    storage: Box<dyn StableStore>,
     /// Monotonic arm counter: a timer event fires only if it carries the
     /// latest arm id for its token (cancel/re-arm/crash invalidate).
     next_arm: u64,
@@ -120,6 +126,7 @@ pub struct Sim<M> {
     events_processed: u64,
     byte_meter: Option<ByteMeter<M>>,
     wire: BTreeMap<&'static str, WireTotal>,
+    storage_factory: StorageFactory,
 }
 
 impl<M: Clone + Debug + 'static> Sim<M> {
@@ -139,7 +146,19 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             events_processed: 0,
             byte_meter: None,
             wire: BTreeMap::new(),
+            storage_factory: Box::new(|_| Box::new(MemStore::new())),
         }
+    }
+
+    /// Installs the storage factory consulted by every subsequent
+    /// [`Sim::add_process`] call (already-registered processes keep their
+    /// existing storage). Use this to back processes with a
+    /// [`mcpaxos_actor::WalStore`] instead of the default [`MemStore`].
+    pub fn set_storage_factory<F>(&mut self, factory: F)
+    where
+        F: FnMut(ProcessId) -> Box<dyn StableStore> + 'static,
+    {
+        self.storage_factory = Box::new(factory);
     }
 
     /// Registers a process and immediately runs its `on_start`.
@@ -155,13 +174,14 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         F: FnMut() -> ActorBox<M> + 'static,
     {
         let actor = factory();
+        let storage = (self.storage_factory)(pid);
         let prev = self.procs.insert(
             pid,
             ProcNode {
                 actor: Some(actor),
                 factory: Box::new(factory),
                 up: true,
-                storage: MemStore::new(),
+                storage,
                 next_arm: 0,
                 timers: BTreeMap::new(),
                 stats: ProcessStats::default(),
@@ -295,8 +315,18 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     }
 
     /// The stable storage of `p` (survives crashes).
-    pub fn storage(&self, p: ProcessId) -> Option<&MemStore> {
-        self.procs.get(&p).map(|n| &n.storage)
+    pub fn storage(&self, p: ProcessId) -> Option<&(dyn StableStore + '_)> {
+        self.procs.get(&p).map(|n| n.storage.as_ref())
+    }
+
+    /// Mutable access to `p`'s stable storage. Intended for test
+    /// scenarios that corrupt or truncate the medium between a crash and
+    /// the matching recovery.
+    pub fn storage_mut(&mut self, p: ProcessId) -> Option<&mut (dyn StableStore + '_)> {
+        match self.procs.get_mut(&p) {
+            Some(n) => Some(n.storage.as_mut()),
+            None => None,
+        }
     }
 
     /// Message counters for `p`.
@@ -441,6 +471,9 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                         n.up = false;
                         n.actor = None;
                         n.timers.clear();
+                        // Buffered-but-unflushed stable writes die with
+                        // the process (group commit's crash semantics).
+                        n.storage.lose_unflushed();
                         self.record(TraceKind::Crash, p, None, String::new(), 0);
                     }
                 }
@@ -471,7 +504,11 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 _ => return,
             };
             let actor = node.actor.take().expect("up process has an actor");
-            (actor, std::mem::take(&mut node.storage))
+            let storage = std::mem::replace(
+                &mut node.storage,
+                Box::new(MemStore::new()) as Box<dyn StableStore>,
+            );
+            (actor, storage)
         };
         let writes_before = storage.write_count();
         let mut fx = Effects::default();
@@ -479,7 +516,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             let mut ctx = SimCtx {
                 me: pid,
                 now: self.now,
-                storage: &mut storage,
+                storage: storage.as_mut(),
                 rng: &mut self.rng,
                 fx: &mut fx,
             };
@@ -607,7 +644,7 @@ impl<M> Default for Effects<M> {
 struct SimCtx<'a, M> {
     me: ProcessId,
     now: SimTime,
-    storage: &'a mut MemStore,
+    storage: &'a mut dyn StableStore,
     rng: &'a mut StdRng,
     fx: &'a mut Effects<M>,
 }

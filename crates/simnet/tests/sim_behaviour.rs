@@ -2,7 +2,7 @@
 //! semantics, fault injection, storage durability and message accounting.
 
 use mcpaxos_actor::{
-    Actor, Context, Metric, ProcessId, SimDuration, SimTime, StableStore, TimerToken,
+    Actor, Context, Metric, ProcessId, SimDuration, SimTime, TimerToken,
 };
 use mcpaxos_simnet::{DelayDist, NetConfig, Sim, TraceKind};
 

@@ -3,7 +3,7 @@
 //! up, even though the history below the watermark no longer exists
 //! anywhere in the deployment.
 
-use mcpaxos_actor::{ProcessId, SimTime, StableStore};
+use mcpaxos_actor::{ProcessId, SimTime};
 use mcpaxos_core::{Acceptor, Coordinator, DeployConfig, Msg, Policy, Proposer, WireConfig};
 use mcpaxos_cstruct::CommandHistory;
 use mcpaxos_simnet::{NetConfig, Sim};
