@@ -80,7 +80,20 @@ impl RoleMap {
     /// then `n_acc` acceptors, then `n_learn` learners, with consecutive ids
     /// starting at 0 and no overlap.
     pub fn disjoint(n_prop: usize, n_coord: usize, n_acc: usize, n_learn: usize) -> Self {
-        let mut next = 0u32;
+        Self::disjoint_from(0, n_prop, n_coord, n_acc, n_learn)
+    }
+
+    /// Like [`RoleMap::disjoint`], but with ids starting at `start` instead
+    /// of 0. Sharded deployments use this to give each consensus instance
+    /// its own disjoint id range inside one shared runtime.
+    pub fn disjoint_from(
+        start: u32,
+        n_prop: usize,
+        n_coord: usize,
+        n_acc: usize,
+        n_learn: usize,
+    ) -> Self {
+        let mut next = start;
         let mut take = |n: usize| -> Vec<ProcessId> {
             let v: Vec<ProcessId> = (next..next + n as u32).map(ProcessId).collect();
             next += n as u32;
@@ -162,6 +175,15 @@ impl RoleMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn disjoint_from_offsets_every_role() {
+        let rm = RoleMap::disjoint_from(100, 1, 2, 3, 1);
+        assert_eq!(rm.proposers(), &[ProcessId(100)]);
+        assert_eq!(rm.coordinators(), &[ProcessId(101), ProcessId(102)]);
+        assert_eq!(rm.acceptors()[0], ProcessId(103));
+        assert_eq!(rm.learners(), &[ProcessId(106)]);
+    }
 
     #[test]
     fn disjoint_assigns_consecutive_ids() {

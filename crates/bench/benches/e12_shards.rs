@@ -1,0 +1,4 @@
+//! Regenerates the e12_shards experiment table (see EXPERIMENTS.md).
+fn main() {
+    println!("{}", mcpaxos_bench::experiments::e12_shards().render_text());
+}

@@ -1,0 +1,150 @@
+//! CI-facing sharding benchmark: throughput scaling across parallel
+//! consensus instances (experiment E12).
+//!
+//! Pushes the same command count through 1, 2 and 4 shards at cross-shard
+//! transfer fractions of 0%, 1% and 10%, emits `BENCH_shards.json` (a flat
+//! array of per-run records) so every CI run leaves a comparable artifact,
+//! and prints the scaling table. With `--check`, exits non-zero unless
+//!
+//! * every run learns and applies all commands (merge completeness),
+//! * every run's merged bank state matches the 1-shard run of the same
+//!   workload (sharding must not change semantics),
+//! * 4 shards at 1% cross-shard traffic sustain ≥ 3× the 1-shard
+//!   throughput (the near-linear-scaling floor).
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_shards [--check] [--out PATH]`
+
+use mcpaxos_bench::shard_bench::{shard_run, ShardRunStats, SHARD_BENCH_COMMANDS};
+use std::fmt::Write as _;
+
+const SHARD_COUNTS: [u16; 3] = [1, 2, 4];
+const TRANSFER_FRACTIONS: [f64; 3] = [0.0, 0.01, 0.10];
+const SEED: u64 = 42;
+
+/// The scaling floor `--check` enforces at 4 shards, 1% cross-shard.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+fn json_record(s: &ShardRunStats, speedup: f64) -> String {
+    format!(
+        "{{\"shards\":{},\"transfer_pct\":{},\"commands\":{},\"cross_shard\":{},\
+         \"applied\":{},\"elapsed_ms\":{:.1},\"cps\":{:.0},\"speedup_vs_1shard\":{:.2},\
+         \"bank_total\":{}}}",
+        s.shards,
+        s.transfer_pct,
+        s.commands,
+        s.cross_shard,
+        s.applied,
+        s.elapsed_ms,
+        s.cps,
+        speedup,
+        s.bank_total,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shards.json".to_string());
+
+    let mut runs: Vec<ShardRunStats> = Vec::new();
+    for &frac in &TRANSFER_FRACTIONS {
+        for &shards in &SHARD_COUNTS {
+            let s = shard_run(shards, frac, SHARD_BENCH_COMMANDS, SEED);
+            eprintln!(
+                "shards={} transfers={:>4.1}%: {} cmds ({} cross) in {:.0} ms = {:.0} cps",
+                s.shards, s.transfer_pct, s.commands, s.cross_shard, s.elapsed_ms, s.cps
+            );
+            runs.push(s);
+        }
+    }
+
+    let base_cps = |pct: f64| {
+        runs.iter()
+            .find(|r| r.shards == 1 && (r.transfer_pct - pct).abs() < 1e-9)
+            .map(|r| r.cps)
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut json = String::from("[\n");
+    for (i, s) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  {}{sep}",
+            json_record(s, s.cps / base_cps(s.transfer_pct))
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&out, &json).expect("write BENCH_shards.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    println!(
+        "throughput scaling ({} commands, wall-clock):",
+        SHARD_BENCH_COMMANDS
+    );
+    println!("  transfers |  1 shard |  2 shards |  4 shards | 4-shard speedup");
+    for &frac in &TRANSFER_FRACTIONS {
+        let row: Vec<&ShardRunStats> = runs
+            .iter()
+            .filter(|r| (r.transfer_pct - frac * 100.0).abs() < 1e-9)
+            .collect();
+        println!(
+            "  {:>8.1}% | {:>8.0} | {:>9.0} | {:>9.0} | {:>14.2}x",
+            frac * 100.0,
+            row[0].cps,
+            row[1].cps,
+            row[2].cps,
+            row[2].cps / row[0].cps
+        );
+    }
+
+    if check {
+        let mut failed = Vec::new();
+        for s in &runs {
+            if s.applied != s.commands as u64 {
+                failed.push(format!(
+                    "{}-shard {}% run applied {} of {} commands",
+                    s.shards, s.transfer_pct, s.applied, s.commands
+                ));
+            }
+        }
+        for &frac in &TRANSFER_FRACTIONS {
+            let pct = frac * 100.0;
+            let totals: Vec<u64> = runs
+                .iter()
+                .filter(|r| (r.transfer_pct - pct).abs() < 1e-9)
+                .map(|r| r.bank_total)
+                .collect();
+            if totals.windows(2).any(|w| w[0] != w[1]) {
+                failed.push(format!(
+                    "{pct}% runs disagree on final bank total: {totals:?}"
+                ));
+            }
+        }
+        let speedup = runs
+            .iter()
+            .find(|r| r.shards == 4 && (r.transfer_pct - 1.0).abs() < 1e-9)
+            .map(|r| r.cps / base_cps(1.0))
+            .unwrap_or(0.0);
+        if speedup < SPEEDUP_FLOOR {
+            failed.push(format!(
+                "4-shard speedup {speedup:.2}x < {SPEEDUP_FLOOR}x floor at 1% cross-shard"
+            ));
+        }
+        if failed.is_empty() {
+            println!(
+                "CHECK PASSED (>= {SPEEDUP_FLOOR}x at 4 shards / 1% cross-shard, all applied, states agree)"
+            );
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -712,6 +712,66 @@ pub fn e11_wal() -> Table {
     ))
 }
 
+/// E12 — sharding the command space into parallel consensus instances.
+pub fn e12_shards() -> Table {
+    use crate::shard_bench::shard_wire_run;
+    const E12_COMMANDS: usize = 240;
+    const E12_TRANSFERS: f64 = 0.01;
+    let mut t = Table::new(
+        "E12 — Sharded parallel instances (WPaxos-style key partitioning)",
+        "one consensus instance serializes every message through one history, so \
+         per-message work and wire bytes grow with the whole command stream; \
+         hashing conflict keys over S independent Multicoordinated Paxos \
+         instances divides that work ~S× while cross-shard commands (multi-key \
+         transfers, universal-key audits) stay correct via sequenced submission \
+         to every involved shard and conflict-ordered merge",
+        &[
+            "shards",
+            "cross-shard cmds",
+            "ticks to learn all",
+            "total wire bytes",
+            "max shard bytes",
+            "bytes vs 1 shard",
+        ],
+    );
+    let runs: Vec<_> = [1u16, 2, 4]
+        .iter()
+        .map(|&s| shard_wire_run(s, E12_TRANSFERS, E12_COMMANDS, 42))
+        .collect();
+    let base_bytes = runs[0].total_bytes;
+    for r in &runs {
+        assert_eq!(
+            r.bank_total, runs[0].bank_total,
+            "{}-shard run diverged from the unsharded state",
+            r.shards
+        );
+        t.row(&[
+            r.shards.to_string(),
+            r.cross_shard.to_string(),
+            r.end_ticks.to_string(),
+            r.total_bytes.to_string(),
+            r.per_shard_bytes
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            format!("{:.2}x", r.total_bytes as f64 / base_bytes as f64),
+        ]);
+    }
+    t.with_note(format!(
+        "{} bank commands over 4k accounts, {:.0}% two-account transfers, default \
+         full-payload wire mode: each shard's per-message cost is proportional to \
+         its own history, so total bytes (and the wall-clock work they proxy) \
+         shrink near-linearly in the shard count while every run merges to the \
+         same bank state. Wall-clock scaling is gated separately: `cargo run \
+         --release -p mcpaxos-bench --bin bench_shards -- --check` demands ≥3× \
+         throughput at 4 shards / 1% cross-shard and writes `BENCH_shards.json`.",
+        E12_COMMANDS,
+        E12_TRANSFERS * 100.0
+    ))
+}
+
 /// Smoke check used by the test-suite: every experiment renders non-empty.
 pub fn smoke() -> Vec<(String, usize)> {
     crate::all_experiments()

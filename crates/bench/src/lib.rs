@@ -12,11 +12,13 @@
 pub mod experiments;
 pub mod harness;
 pub mod history_workloads;
+pub mod shard_bench;
 pub mod table;
 pub mod wal_bench;
 pub mod wire_bench;
 
 pub use harness::ClusterHarness;
+pub use shard_bench::ShardedHarness;
 pub use table::Table;
 
 /// All experiment tables, in report order.
@@ -34,5 +36,6 @@ pub fn all_experiments() -> Vec<Table> {
         experiments::a1_coordquorum_size(),
         experiments::e10_wire(),
         experiments::e11_wal(),
+        experiments::e12_shards(),
     ]
 }

@@ -40,7 +40,9 @@ pub struct Acceptor<C: CStruct> {
     cfg: Arc<DeployConfig>,
     rnd: Round,
     vrnd: Round,
-    vval: C,
+    /// The accepted value, shared: full-payload sends bump this Arc
+    /// instead of deep-cloning the history (mutation uses copy-on-write).
+    vval: Arc<C>,
     persisted_major: u32,
     /// Latest "2a" value per coordinator, per round (payloads shared
     /// with the messages they arrived in).
@@ -73,7 +75,7 @@ impl<C: CStruct> Acceptor<C> {
             cfg,
             rnd: Round::ZERO,
             vrnd: Round::ZERO,
-            vval: C::bottom(),
+            vval: Arc::new(C::bottom()),
             persisted_major: 0,
             round_2a: BTreeMap::new(),
             round_2b: BTreeMap::new(),
@@ -155,10 +157,10 @@ impl<C: CStruct> Acceptor<C> {
             ctx.storage().flush();
         }
         let coords = self.cfg.schedule.coordinators_of(round);
-        // One clone into the Arc; the fan-out then shares it. 1b values
-        // are always shipped full: the receiving coordinator generally
-        // holds no base from us for this round.
-        let payload = Payload::full(self.vval.clone());
+        // The fan-out shares the accepted value's Arc — no clone. 1b
+        // values are always shipped full: the receiving coordinator
+        // generally holds no base from us for this round.
+        let payload = Payload::Full(self.vval.clone());
         self.account(&payload, coords.len(), ctx);
         ctx.multicast(
             &coords,
@@ -238,7 +240,7 @@ impl<C: CStruct> Acceptor<C> {
             Vec::new()
         };
         if !self.cfg.wire.delta_ship {
-            let payload = Payload::full(self.vval.clone());
+            let payload = Payload::Full(self.vval.clone());
             self.account(&payload, learners.len() + coords.len() + peers.len(), ctx);
             let msg = Msg::P2b {
                 round: self.vrnd,
@@ -260,8 +262,7 @@ impl<C: CStruct> Acceptor<C> {
         // One digest of the current value for every delta this round: the
         // receiver recomputes it over its reconstruction and rejects
         // silently divergent equal-length bases (answers `NeedFull`).
-        let digest = value_digest(&self.vval);
-        let mut full: Option<Arc<C>> = None;
+        let digest = value_digest(self.vval.as_ref());
         for &t in learners.iter().chain(&coords).chain(&peers) {
             let base = match self.sent_2b.get(&t) {
                 Some(&(r, len)) if r == round && len <= total => Some(len),
@@ -276,12 +277,7 @@ impl<C: CStruct> Acceptor<C> {
                         suffix,
                     }
                 }
-                None => {
-                    let arc = full
-                        .get_or_insert_with(|| Arc::new(self.vval.clone()))
-                        .clone();
-                    Payload::Full(arc)
-                }
+                None => Payload::Full(self.vval.clone()),
             };
             self.account(&payload, 1, ctx);
             self.sent_2b.insert(t, (round, total));
@@ -304,7 +300,7 @@ impl<C: CStruct> Acceptor<C> {
             return;
         }
         let fast_buf = &mut self.fast_buf;
-        let applied = self.comp.advance(&mut self.vval, |seg| {
+        let applied = self.comp.advance(Arc::make_mut(&mut self.vval), |seg| {
             fast_buf.retain(|c| !seg.contains(c));
         });
         if applied == 0 {
@@ -450,15 +446,18 @@ impl<C: CStruct> Acceptor<C> {
             ctx.metric(Metric::incr(metrics::OVERWRITTEN_VOTES));
         }
         // Change detection without snapshotting the whole previous value.
-        let mut changed = self.vrnd != round || self.vval != new_val;
+        let mut changed = self.vrnd != round || *self.vval != new_val;
         self.vrnd = round;
-        self.vval = new_val;
+        self.vval = Arc::new(new_val);
         // Fast rounds: fold in any buffered proposals right away.
         if self.cfg.schedule.kind(round) == RoundKind::Fast {
             let before = self.vval.count();
             let buf = std::mem::take(&mut self.fast_buf);
-            for cmd in buf {
-                self.vval.append(cmd);
+            if !buf.is_empty() {
+                let v = Arc::make_mut(&mut self.vval);
+                for cmd in buf {
+                    v.append(cmd);
+                }
             }
             changed |= self.vval.count() != before;
         }
@@ -491,7 +490,7 @@ impl<C: CStruct> Acceptor<C> {
             return;
         }
         let before = self.vval.count();
-        self.vval.append(cmd);
+        Arc::make_mut(&mut self.vval).append(cmd);
         if self.vval.count() != before {
             ctx.metric(Metric::incr(metrics::ACCEPTS));
             self.persist_vote(ctx);
@@ -564,7 +563,7 @@ impl<C: CStruct> Acceptor<C> {
             ctx.storage().flush();
         }
         let me = ctx.me();
-        let shared = Arc::new(self.vval.clone());
+        let shared = self.vval.clone();
         let report = OneB {
             from: me,
             vrnd: self.vrnd,
@@ -611,10 +610,12 @@ impl<C: CStruct> Acceptor<C> {
         }
         self.rnd = round;
         self.vrnd = round;
-        self.vval = picked;
-        let buf = std::mem::take(&mut self.fast_buf);
-        for cmd in buf {
-            self.vval.append(cmd);
+        self.vval = Arc::new(picked);
+        {
+            let v = Arc::make_mut(&mut self.vval);
+            for cmd in std::mem::take(&mut self.fast_buf) {
+                v.append(cmd);
+            }
         }
         self.persist_vote(ctx);
         self.persist_round(ctx);
@@ -653,7 +654,7 @@ impl<C: CStruct> Actor for Acceptor<C> {
             match from_bytes::<(Round, C)>(&bytes) {
                 Ok((vrnd, vval)) => {
                     self.vrnd = vrnd;
-                    self.vval = vval;
+                    self.vval = Arc::new(vval);
                     have_vote = true;
                     // The persisted vote carries its watermark; resume
                     // compaction there (the normalization window refills
@@ -788,7 +789,7 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 // Include our own vote in the picture.
                 if self.vrnd == round {
                     let me = ctx.me();
-                    let own = Arc::new(self.vval.clone());
+                    let own = self.vval.clone();
                     self.round_2b.entry(round).or_default().insert(me, own);
                 }
                 self.prune();
@@ -823,7 +824,7 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 // base and re-ship the full current value.
                 if round == self.vrnd {
                     ctx.metric(Metric::incr(metrics::FULL_RESYNCS));
-                    let payload = Payload::full(self.vval.clone());
+                    let payload = Payload::Full(self.vval.clone());
                     self.account(&payload, 1, ctx);
                     self.sent_2b
                         .insert(from, (self.vrnd, self.vval.total_len()));

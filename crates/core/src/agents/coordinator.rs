@@ -39,7 +39,9 @@ pub struct Coordinator<C: CStruct> {
     me: ProcessId,
     me_idx: u16,
     crnd: Round,
-    cval: Option<C>,
+    /// The round's value, shared: full-payload 2a sends bump this Arc
+    /// instead of deep-cloning the history (mutation uses copy-on-write).
+    cval: Option<Arc<C>>,
     /// Persisted barrier: never act in rounds ≤ floor after recovery.
     floor: Round,
     round_1b: BTreeMap<Round, BTreeMap<ProcessId, OneB<C>>>,
@@ -110,7 +112,7 @@ impl<C: CStruct> Coordinator<C> {
 
     /// The latest c-struct sent in a phase "2a" for the current round.
     pub fn cval(&self) -> Option<&C> {
-        self.cval.as_ref()
+        self.cval.as_deref()
     }
 
     /// Whether this coordinator currently believes itself leader.
@@ -175,12 +177,12 @@ impl<C: CStruct> Coordinator<C> {
         &mut self,
         targets: &[ProcessId],
         round: Round,
-        val: &C,
+        val: &Arc<C>,
         ctx: &mut dyn Context<Msg<C>>,
     ) {
         let total = val.total_len();
         if !self.cfg.wire.delta_ship {
-            let payload = Payload::full(val.clone());
+            let payload = Payload::Full(val.clone());
             self.account(&payload, targets.len(), ctx);
             ctx.multicast(
                 targets,
@@ -193,8 +195,7 @@ impl<C: CStruct> Coordinator<C> {
         }
         // Digest of the shipped value: lets receivers reject deltas whose
         // base silently diverged despite matching lengths.
-        let digest = crate::msg::value_digest(val);
-        let mut full: Option<Arc<C>> = None;
+        let digest = crate::msg::value_digest(val.as_ref());
         for &t in targets {
             let base = match self.sent_2a.get(&t) {
                 Some(&(r, len)) if r == round && len <= total => Some(len),
@@ -209,10 +210,7 @@ impl<C: CStruct> Coordinator<C> {
                         suffix,
                     }
                 }
-                None => {
-                    let arc = full.get_or_insert_with(|| Arc::new(val.clone())).clone();
-                    Payload::Full(arc)
-                }
+                None => Payload::Full(val.clone()),
             };
             self.account(&payload, 1, ctx);
             self.sent_2a.insert(t, (round, total));
@@ -235,7 +233,9 @@ impl<C: CStruct> Coordinator<C> {
         }
         let mut pruned: Vec<C::Cmd> = Vec::new();
         let applied = match self.cval.as_mut() {
-            Some(v) => self.comp.advance(v, |seg| pruned.extend_from_slice(seg)),
+            Some(v) => self
+                .comp
+                .advance(Arc::make_mut(v), |seg| pruned.extend_from_slice(seg)),
             None => self.comp.advance_free(|seg| pruned.extend_from_slice(seg)),
         };
         if applied == 0 {
@@ -344,8 +344,7 @@ impl<C: CStruct> Coordinator<C> {
             _ => return,
         };
         let sched = self.cfg.schedule.clone();
-        let w = pick(proved_safe(&msgs, &self.cfg.quorums, |r| sched.kind(r)));
-        let mut val = w;
+        let mut val = pick(proved_safe(&msgs, &self.cfg.quorums, |r| sched.kind(r)));
         for cmd in self.backlog.drain(..) {
             val.append(cmd);
         }
@@ -355,6 +354,7 @@ impl<C: CStruct> Coordinator<C> {
         for cmd in &self.outstanding {
             val.append(cmd.clone());
         }
+        let val = Arc::new(val);
         self.persist_floor(round, ctx);
         self.crnd = round;
         self.note_heard(round);
@@ -377,11 +377,11 @@ impl<C: CStruct> Coordinator<C> {
             Some(v) => v,
             None => return,
         };
-        val.append(cmd);
+        Arc::make_mut(&mut val).append(cmd);
         ctx.metric(Metric::incr(metrics::PHASE2A));
         let targets = acc_quorum.unwrap_or_else(|| self.cfg.roles.acceptors().to_vec());
         // Under delta shipping each peer receives just the new suffix; the
-        // full-value path clones once into an Arc the fan-out shares.
+        // full-value path shares the Arc with the fan-out — no clone.
         self.send_2a(&targets, self.crnd, &val, ctx);
         self.cval = Some(val);
     }
@@ -627,7 +627,7 @@ impl<C: CStruct> Actor for Coordinator<C> {
                 if round == self.crnd {
                     if let Some(val) = self.cval.take() {
                         ctx.metric(Metric::incr(metrics::FULL_RESYNCS));
-                        let payload = Payload::full(val.clone());
+                        let payload = Payload::Full(val.clone());
                         self.account(&payload, 1, ctx);
                         self.sent_2a.insert(from, (round, val.total_len()));
                         ctx.send(

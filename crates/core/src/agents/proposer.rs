@@ -125,8 +125,7 @@ impl<C: CStruct> Actor for Proposer<C> {
         if token == TOK_RESEND {
             if !self.pending.is_empty() {
                 ctx.metric(Metric::incr(metrics::RESENDS));
-                let pending = self.pending.clone();
-                for cmd in &pending {
+                for cmd in &self.pending {
                     self.forward(cmd, ctx);
                 }
             }

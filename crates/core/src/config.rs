@@ -171,7 +171,25 @@ impl DeployConfig {
         n_learn: usize,
         policy: Policy,
     ) -> Self {
-        let roles = RoleMap::disjoint(n_prop, n_coord, n_acc, n_learn);
+        Self::simple_from(0, n_prop, n_coord, n_acc, n_learn, policy)
+    }
+
+    /// Like [`DeployConfig::simple`], but with process ids starting at
+    /// `start`. Sharded deployments instantiate one such configuration per
+    /// shard, each over its own disjoint id range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_acc` does not admit majority quorums (`n_acc == 0`).
+    pub fn simple_from(
+        start: u32,
+        n_prop: usize,
+        n_coord: usize,
+        n_acc: usize,
+        n_learn: usize,
+        policy: Policy,
+    ) -> Self {
+        let roles = RoleMap::disjoint_from(start, n_prop, n_coord, n_acc, n_learn);
         let quorums = QuorumSpec::majority(n_acc).expect("majority quorums");
         let schedule = Schedule::new(roles.coordinators().to_vec(), policy);
         DeployConfig {

@@ -50,6 +50,7 @@ mod provedsafe;
 mod quorum;
 mod round;
 mod schedule;
+mod shard;
 
 pub use agents::{Acceptor, Coordinator, Learner, Proposer};
 pub use compact::{Compactor, Resolved};
@@ -59,3 +60,4 @@ pub use provedsafe::{pick, proved_safe, proved_safe_exact, OneB};
 pub use quorum::{check_intersections, CoordQuorum, QuorumSpec, RoundInfo};
 pub use round::Round;
 pub use schedule::{Policy, RoundKind, Schedule, RTYPE_FAST, RTYPE_MULTI, RTYPE_SINGLE};
+pub use shard::{shard_configs, shard_tag, ShardMsg, Sharded, SHARD_ID_STRIDE};

@@ -1,9 +1,7 @@
 //! Behavioural tests for the discrete-event simulator: determinism, timer
 //! semantics, fault injection, storage durability and message accounting.
 
-use mcpaxos_actor::{
-    Actor, Context, Metric, ProcessId, SimDuration, SimTime, TimerToken,
-};
+use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimDuration, SimTime, TimerToken};
 use mcpaxos_simnet::{DelayDist, NetConfig, Sim, TraceKind};
 
 const P0: ProcessId = ProcessId(0);

@@ -16,7 +16,10 @@
 //! * [`Replica`] — a learner + delivery cursor + state machine bundled as
 //!   one actor;
 //! * [`Workload`] — deterministic workload generation for tests, examples
-//!   and the experiment harness.
+//!   and the experiment harness;
+//! * [`ShardRouter`]/[`CrossShardSequencer`]/[`ShardedReplica`] —
+//!   WPaxos-style sharding of the command space across parallel consensus
+//!   instances, with a deterministic cross-shard merge.
 //!
 //! Because commands carry unique ids, at-most-once application is
 //! guaranteed by c-struct deduplication; replicas applying compatible
@@ -28,12 +31,14 @@ mod bank;
 mod kv;
 mod machine;
 mod replica;
+mod shard;
 mod workload;
 
 pub use bank::{Bank, BankCmd, BankOp};
 pub use kv::{KvCmd, KvOp, KvStore};
 pub use machine::StateMachine;
 pub use replica::{Checkpoint, Replica};
+pub use shard::{CrossShardSequencer, ShardRouter, ShardedReplica};
 pub use workload::Workload;
 
 /// Globally unique command identifier: `(client, sequence)`.

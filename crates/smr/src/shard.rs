@@ -1,0 +1,443 @@
+//! Command-space sharding: routing, cross-shard sequencing, and the
+//! sharded replica merge (the application half of `mcpaxos_core::shard`).
+//!
+//! The command space is partitioned by conflict-key hash across N
+//! independent consensus instances. A single-key command involves exactly
+//! one shard; a multi-key command (a bank transfer between accounts on
+//! different shards, or an audit) involves several and is proposed to
+//! *all* of them — each involved shard orders it against its own traffic,
+//! and the [`ShardedReplica`] merge applies it exactly once, when its
+//! position is agreed in every involved shard.
+//!
+//! # Why the merge is deterministic
+//!
+//! Two conflicting commands share a conflict key (the [`Conflict`]
+//! contract), so they share at least one shard, and every involved shard's
+//! learned history orders them. The merge applies a command only when no
+//! conflicting command precedes it in any involved shard's undelivered
+//! queue, so conflicting pairs are applied in their common shard's order
+//! everywhere; non-conflicting commands commute, making any interleaving
+//! of the per-shard streams state-equivalent.
+//!
+//! Two *concurrent* conflicting multi-shard commands could be ordered
+//! oppositely by two shards they share pairwise (or through a cycle of
+//! shards), deadlocking the merge. The [`CrossShardSequencer`] exists to
+//! rule that out: a cross-shard command conflicting with an in-flight
+//! cross-shard command is held back until the earlier one is learned by
+//! every involved shard — the WPaxos-style object-group sequencing the
+//! paper's load-balancing discussion (§4.1) leaves to the deployment.
+
+use crate::machine::StateMachine;
+use mcpaxos_cstruct::{CommandHistory, Conflict, ConflictKeys};
+use mcpaxos_gbcast::Delivery;
+use std::collections::VecDeque;
+
+/// Routes commands to shards by conflict-key hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRouter {
+    n: u16,
+}
+
+/// FNV-1a over the key's little-endian bytes: cheap, deterministic, and
+/// spreads the sequential account/key spaces real workloads use.
+fn hash_key(k: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in k.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl ShardRouter {
+    /// A router over `n` shards (at least 1).
+    pub fn new(n: u16) -> Self {
+        ShardRouter { n: n.max(1) }
+    }
+
+    /// Number of shards routed over.
+    pub fn n_shards(&self) -> u16 {
+        self.n
+    }
+
+    /// The shard owning conflict key `k`.
+    pub fn shard_of_key(&self, k: u64) -> u16 {
+        (hash_key(k) % u64::from(self.n)) as u16
+    }
+
+    /// The shards involved in a command with hint `keys`, sorted and
+    /// deduplicated. [`ConflictKeys::all`] involves every shard; a command
+    /// with no conflict keys commutes with everything and is pinned to
+    /// shard 0 (any fixed choice is correct).
+    pub fn involved(&self, keys: &ConflictKeys) -> Vec<u16> {
+        if keys.is_all() {
+            return (0..self.n).collect();
+        }
+        let mut shards: Vec<u16> = keys
+            .as_slice()
+            .iter()
+            .map(|&k| self.shard_of_key(k))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        if shards.is_empty() {
+            shards.push(0);
+        }
+        shards
+    }
+
+    /// The shards involved in `cmd` (see [`ShardRouter::involved`]).
+    pub fn route<C: Conflict>(&self, cmd: &C) -> Vec<u16> {
+        self.involved(&cmd.conflict_keys())
+    }
+
+    /// Whether `cmd` involves more than one shard.
+    pub fn is_cross_shard<C: Conflict>(&self, cmd: &C) -> bool {
+        self.route(cmd).len() > 1
+    }
+}
+
+/// Serializes conflicting cross-shard commands: at most one of any
+/// conflicting set is in flight at a time, so no two shards can order a
+/// conflicting pair oppositely (see the module docs).
+///
+/// Single-shard commands never pass through here — one shard's own
+/// history orders them against everything they conflict with.
+#[derive(Debug)]
+pub struct CrossShardSequencer<C> {
+    in_flight: Vec<C>,
+    held: VecDeque<C>,
+}
+
+impl<C: Conflict + Clone + Eq> CrossShardSequencer<C> {
+    /// An empty sequencer.
+    pub fn new() -> Self {
+        CrossShardSequencer {
+            in_flight: Vec::new(),
+            held: VecDeque::new(),
+        }
+    }
+
+    /// Submits a cross-shard command. Returns `true` if it may be proposed
+    /// now (it conflicts with nothing in flight or held before it), `false`
+    /// if it is held until [`CrossShardSequencer::on_progress`] releases it.
+    pub fn submit(&mut self, cmd: C) -> bool {
+        let blocked = self
+            .in_flight
+            .iter()
+            .chain(self.held.iter())
+            .any(|f| f.conflicts(&cmd));
+        if blocked {
+            self.held.push_back(cmd);
+            false
+        } else {
+            self.in_flight.push(cmd);
+            true
+        }
+    }
+
+    /// Commands currently in flight (proposed, not yet fully learned).
+    pub fn in_flight(&self) -> &[C] {
+        &self.in_flight
+    }
+
+    /// Number of commands held back behind a conflicting one.
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Retires every in-flight command `fully_learned` reports true for,
+    /// then releases held commands whose conflicts have cleared, in
+    /// submission order. The returned commands are now in flight and must
+    /// be proposed to their involved shards.
+    pub fn on_progress(&mut self, fully_learned: impl Fn(&C) -> bool) -> Vec<C> {
+        self.in_flight.retain(|c| !fully_learned(c));
+        let mut released = Vec::new();
+        let mut still_held: VecDeque<C> = VecDeque::new();
+        while let Some(cmd) = self.held.pop_front() {
+            let blocked = self
+                .in_flight
+                .iter()
+                .chain(still_held.iter())
+                .any(|f| f.conflicts(&cmd));
+            if blocked {
+                still_held.push_back(cmd);
+            } else {
+                self.in_flight.push(cmd.clone());
+                released.push(cmd);
+            }
+        }
+        self.held = still_held;
+        released
+    }
+}
+
+impl<C: Conflict + Clone + Eq> Default for CrossShardSequencer<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Applies the per-shard learned histories of a sharded deployment to one
+/// state machine, exactly once per command, with the deterministic
+/// cross-shard merge described in the module docs.
+///
+/// Each shard feeds a [`Delivery`] cursor (exactly-once linearization of
+/// that shard's history, compaction-safe); newly delivered commands queue
+/// per shard, and the merge drains a command once it is present in every
+/// involved shard's queue with no conflicting command queued before it in
+/// any of them.
+#[derive(Debug)]
+pub struct ShardedReplica<SM: StateMachine> {
+    router: ShardRouter,
+    cursors: Vec<Delivery<SM::Cmd>>,
+    queues: Vec<VecDeque<SM::Cmd>>,
+    machine: SM,
+    applied_log: Vec<SM::Cmd>,
+    applied: u64,
+    keep_log: bool,
+}
+
+impl<SM: StateMachine> ShardedReplica<SM> {
+    /// A fresh replica merging `n_shards` instances.
+    pub fn new(n_shards: u16) -> Self {
+        let n = usize::from(n_shards.max(1));
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut d = Delivery::new();
+            d.disable_log();
+            cursors.push(d);
+        }
+        ShardedReplica {
+            router: ShardRouter::new(n_shards),
+            cursors,
+            queues: vec![VecDeque::new(); n],
+            machine: SM::default(),
+            applied_log: Vec::new(),
+            applied: 0,
+            keep_log: false,
+        }
+    }
+
+    /// Retains the applied-command log (for tests and differential
+    /// oracles; off by default to bound memory).
+    pub fn keep_log(mut self) -> Self {
+        self.keep_log = true;
+        self
+    }
+
+    /// The router this replica shards by.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The merged state machine.
+    pub fn machine(&self) -> &SM {
+        &self.machine
+    }
+
+    /// Commands applied so far, in application order (empty unless
+    /// [`ShardedReplica::keep_log`]).
+    pub fn applied_log(&self) -> &[SM::Cmd] {
+        &self.applied_log
+    }
+
+    /// Number of commands applied to the machine.
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// Commands delivered by some shard but not yet applicable (waiting
+    /// for their other involved shards, or for a conflicting predecessor).
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Absorbs shard `shard`'s current learned history and drains every
+    /// command the new deliveries made applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, or if the shard's history
+    /// violates stability (see [`Delivery::absorb_with`]).
+    pub fn absorb_shard(&mut self, shard: u16, learned: &CommandHistory<SM::Cmd>) {
+        let s = usize::from(shard);
+        let fresh = self.cursors[s].absorb(learned);
+        self.queues[s].extend(fresh);
+        self.drain();
+    }
+
+    /// Whether `cmd` (involving `involved`) may be applied now: delivered
+    /// by every involved shard, with no conflicting command queued before
+    /// it anywhere.
+    fn applicable(&self, cmd: &SM::Cmd, involved: &[u16]) -> bool {
+        involved.iter().all(|&t| {
+            let q = &self.queues[usize::from(t)];
+            match q.iter().position(|c| c == cmd) {
+                None => false,
+                Some(p) => q.iter().take(p).all(|d| !d.conflicts(cmd)),
+            }
+        })
+    }
+
+    /// Deterministic merge scan: repeatedly apply the first applicable
+    /// command (shards in index order, queues front to back; a cross-shard
+    /// command is considered at its lowest involved shard).
+    fn drain(&mut self) {
+        loop {
+            let mut next: Option<(SM::Cmd, Vec<u16>)> = None;
+            'scan: for s in 0..self.queues.len() {
+                for cmd in &self.queues[s] {
+                    let involved = self.router.route(cmd);
+                    if usize::from(involved[0]) != s {
+                        continue; // considered at its lowest involved shard
+                    }
+                    if self.applicable(cmd, &involved) {
+                        next = Some((cmd.clone(), involved));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((cmd, involved)) = next else { break };
+            for &t in &involved {
+                let q = &mut self.queues[usize::from(t)];
+                if let Some(p) = q.iter().position(|c| *c == cmd) {
+                    q.remove(p);
+                }
+            }
+            self.machine.apply(&cmd);
+            self.applied += 1;
+            if self.keep_log {
+                self.applied_log.push(cmd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bank, BankCmd, BankOp, CmdId};
+
+    fn cmd(seq: u32, op: BankOp) -> BankCmd {
+        BankCmd {
+            id: CmdId { client: 1, seq },
+            op,
+        }
+    }
+
+    fn deposit(seq: u32, account: u16, amount: u32) -> BankCmd {
+        cmd(seq, BankOp::Deposit { account, amount })
+    }
+
+    fn transfer(seq: u32, from: u16, to: u16, amount: u32) -> BankCmd {
+        cmd(seq, BankOp::Transfer { from, to, amount })
+    }
+
+    #[test]
+    fn router_is_stable_and_conflict_keys_dedup() {
+        let r = ShardRouter::new(4);
+        for k in 0..200u64 {
+            assert_eq!(r.shard_of_key(k), ShardRouter::new(4).shard_of_key(k));
+            assert!(r.shard_of_key(k) < 4);
+        }
+        // Same account on both sides of a transfer: one shard, not cross.
+        let same = transfer(0, 3, 3, 1);
+        assert_eq!(r.route(&same).len(), 1);
+        assert!(!r.is_cross_shard(&same));
+        // An audit involves every shard.
+        let audit = cmd(1, BankOp::Audit);
+        assert_eq!(r.route(&audit), vec![0, 1, 2, 3]);
+        // One shard collapses everything.
+        assert_eq!(ShardRouter::new(1).route(&audit), vec![0]);
+    }
+
+    #[test]
+    fn sequencer_holds_conflicting_and_releases_in_order() {
+        let mut seq = CrossShardSequencer::new();
+        let t1 = transfer(0, 1, 2, 5);
+        let t2 = transfer(1, 2, 3, 5); // conflicts with t1 via account 2
+        let t3 = transfer(2, 7, 8, 5); // independent
+        assert!(seq.submit(t1.clone()));
+        assert!(!seq.submit(t2.clone()));
+        assert!(seq.submit(t3.clone()));
+        assert_eq!(seq.held_len(), 1);
+        // t1 completes: t2 is released; t3 still in flight.
+        let released = seq.on_progress(|c| *c == t1);
+        assert_eq!(released, vec![t2.clone()]);
+        assert_eq!(seq.in_flight().len(), 2);
+        // Everything completes: nothing left.
+        let released = seq.on_progress(|_| true);
+        assert!(released.is_empty());
+        assert!(seq.in_flight().is_empty());
+        assert_eq!(seq.held_len(), 0);
+    }
+
+    #[test]
+    fn sequencer_fifo_among_held_conflicts() {
+        let mut seq = CrossShardSequencer::new();
+        let t1 = transfer(0, 1, 2, 5);
+        let t2 = transfer(1, 2, 3, 5);
+        let t3 = transfer(2, 3, 4, 5); // conflicts with t2, not t1
+        assert!(seq.submit(t1.clone()));
+        assert!(!seq.submit(t2.clone()));
+        assert!(!seq.submit(t3.clone()), "held behind t2 even though t1 ok");
+        let released = seq.on_progress(|c| *c == t1);
+        assert_eq!(released, vec![t2.clone()], "t3 stays behind t2");
+        let released = seq.on_progress(|c| *c == t2);
+        assert_eq!(released, vec![t3]);
+    }
+
+    #[test]
+    fn merge_waits_for_all_involved_shards() {
+        let r = ShardRouter::new(2);
+        // Find two accounts on different shards.
+        let a: u16 = 0;
+        let b: u16 = (1..100)
+            .find(|&x| r.shard_of_key(u64::from(x)) != r.shard_of_key(u64::from(a)))
+            .unwrap();
+        let (sa, sb) = (r.shard_of_key(u64::from(a)), r.shard_of_key(u64::from(b)));
+        let d1 = deposit(0, a, 100);
+        let d2 = deposit(1, b, 100);
+        let t = transfer(2, a, b, 40);
+
+        let mut rep: ShardedReplica<Bank> = ShardedReplica::new(2).keep_log();
+        let mut ha = mcpaxos_cstruct::CommandHistory::default();
+        use mcpaxos_cstruct::CStruct;
+        ha.append(d1.clone());
+        ha.append(t.clone());
+        rep.absorb_shard(sa, &ha);
+        // Transfer delivered by shard A only: held (conflicting predecessor
+        // d1 applies, t itself waits for shard B).
+        assert_eq!(rep.applied_count(), 1);
+        assert_eq!(rep.pending(), 1);
+
+        let mut hb = mcpaxos_cstruct::CommandHistory::default();
+        hb.append(d2.clone());
+        hb.append(t.clone());
+        rep.absorb_shard(sb, &hb);
+        assert_eq!(rep.applied_count(), 3);
+        assert_eq!(rep.pending(), 0);
+        assert_eq!(rep.machine().balance(a), 60);
+        assert_eq!(rep.machine().balance(b), 140);
+        assert_eq!(rep.machine().rejected(), 0);
+        assert_eq!(rep.applied_log(), &[d1, d2, t]);
+    }
+
+    #[test]
+    fn merge_applies_exactly_once_on_reabsorb() {
+        let r = ShardRouter::new(2);
+        let a: u16 = 0;
+        let sa = r.shard_of_key(u64::from(a));
+        let mut rep: ShardedReplica<Bank> = ShardedReplica::new(2);
+        use mcpaxos_cstruct::CStruct;
+        let mut h = mcpaxos_cstruct::CommandHistory::default();
+        h.append(deposit(0, a, 10));
+        rep.absorb_shard(sa, &h);
+        rep.absorb_shard(sa, &h); // same history again: no double apply
+        h.append(deposit(1, a, 5));
+        rep.absorb_shard(sa, &h);
+        assert_eq!(rep.applied_count(), 2);
+        assert_eq!(rep.machine().balance(a), 15);
+    }
+}

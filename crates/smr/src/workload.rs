@@ -18,6 +18,7 @@ pub struct Workload {
     seq: u32,
     rho: f64,
     cold_keys: u16,
+    transfer_fraction: f64,
 }
 
 impl Workload {
@@ -29,7 +30,32 @@ impl Workload {
             seq: 0,
             rho: rho.clamp(0.0, 1.0),
             cold_keys: 10_000,
+            transfer_fraction: 0.0,
         }
+    }
+
+    /// Sets the size of the cold key/account space commands draw from.
+    pub fn with_cold_keys(mut self, cold_keys: u16) -> Self {
+        self.cold_keys = cold_keys.max(1);
+        self
+    }
+
+    /// Sets the fraction of [`Workload::next_sharded_bank`] commands that
+    /// are two-account transfers — the multi-key commands that may cross
+    /// shard boundaries. The sharding experiments sweep this at 0%/1%/10%.
+    pub fn with_transfer_fraction(mut self, frac: f64) -> Self {
+        self.transfer_fraction = frac.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The size of the cold key/account space.
+    pub fn cold_keys(&self) -> u16 {
+        self.cold_keys
+    }
+
+    /// The fraction of sharded-bank commands that are transfers.
+    pub fn transfer_fraction(&self) -> f64 {
+        self.transfer_fraction
     }
 
     fn next_id(&mut self) -> CmdId {
@@ -95,6 +121,35 @@ impl Workload {
         };
         BankCmd { id, op }
     }
+
+    /// Next bank command for a sharded deployment: single-account deposits
+    /// spread over the cold account space, with a
+    /// [`Workload::with_transfer_fraction`] share of two-account transfers
+    /// between *distinct* accounts (the multi-key commands a router may
+    /// classify as cross-shard).
+    pub fn next_sharded_bank(&mut self) -> BankCmd {
+        let id = self.next_id();
+        let op = if self.transfer_fraction > 0.0 && self.rng.gen_bool(self.transfer_fraction) {
+            let from = self.rng.gen_range(0..self.cold_keys);
+            let mut to = self.rng.gen_range(0..self.cold_keys);
+            if self.cold_keys > 1 {
+                while to == from {
+                    to = self.rng.gen_range(0..self.cold_keys);
+                }
+            }
+            BankOp::Transfer {
+                from,
+                to,
+                amount: 1,
+            }
+        } else {
+            BankOp::Deposit {
+                account: self.rng.gen_range(0..self.cold_keys),
+                amount: self.rng.gen_range(1..100),
+            }
+        };
+        BankCmd { id, op }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +202,29 @@ mod tests {
             (0..10).map(|_| w.next_kv(0.8)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_bank_honors_transfer_fraction() {
+        let mut w = Workload::new(11, 0, 0.0).with_cold_keys(64);
+        assert_eq!(w.cold_keys(), 64);
+        assert!((0..200).all(|_| matches!(w.next_sharded_bank().op, BankOp::Deposit { .. })));
+
+        let mut w = Workload::new(11, 0, 0.0)
+            .with_cold_keys(64)
+            .with_transfer_fraction(0.5);
+        let cmds: Vec<BankCmd> = (0..200).map(|_| w.next_sharded_bank()).collect();
+        let transfers = cmds
+            .iter()
+            .filter(|c| matches!(c.op, BankOp::Transfer { .. }))
+            .count();
+        assert!((50..150).contains(&transfers), "≈50%: got {transfers}");
+        for c in &cmds {
+            if let BankOp::Transfer { from, to, .. } = c.op {
+                assert_ne!(from, to, "transfers are genuinely multi-key");
+                assert!(from < 64 && to < 64);
+            }
+        }
     }
 
     #[test]

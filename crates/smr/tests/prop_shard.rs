@@ -1,0 +1,205 @@
+//! Proptest suite for the sharding layer: routing must be a pure,
+//! conflict-sound function of the command, and merging per-shard learned
+//! histories through [`ShardedReplica`] must reach exactly the state an
+//! unsharded replica reaches on the same command sequence (the
+//! differential oracle, same pattern as `prop_history_diff`).
+
+use mcpaxos_cstruct::{CStruct, CommandHistory, Conflict};
+use mcpaxos_smr::{Bank, BankCmd, BankOp, CmdId, ShardRouter, ShardedReplica, StateMachine};
+use proptest::prelude::*;
+
+/// Small account space so random pairs actually collide.
+const ACCOUNTS: u16 = 6;
+
+fn bank_op() -> impl Strategy<Value = BankOp> {
+    prop_oneof![
+        (0u16..ACCOUNTS, 1u32..100)
+            .prop_map(|(account, amount)| BankOp::Deposit { account, amount }),
+        (0u16..ACCOUNTS, 1u32..100)
+            .prop_map(|(account, amount)| BankOp::Withdraw { account, amount }),
+        // `to` is `from` shifted by a nonzero delta: genuinely two-key,
+        // so transfers can cross shard boundaries.
+        (0u16..ACCOUNTS, 1u16..ACCOUNTS, 1u32..50).prop_map(|(from, delta, amount)| {
+            BankOp::Transfer {
+                from,
+                to: (from + delta) % ACCOUNTS,
+                amount,
+            }
+        }),
+    ]
+}
+
+/// Like [`bank_op`] with occasional audits — `ConflictKeys::all()`
+/// commands that involve every shard and force a total order.
+fn bank_op_with_audits() -> impl Strategy<Value = BankOp> {
+    prop_oneof![bank_op(), bank_op(), bank_op(), Just(BankOp::Audit),]
+}
+
+/// Stamps each op with a unique command id (proposal order = seq order).
+fn cmds_from_ops(ops: Vec<BankOp>) -> Vec<BankCmd> {
+    ops.into_iter()
+        .enumerate()
+        .map(|(i, op)| BankCmd {
+            id: CmdId {
+                client: 1,
+                seq: i as u32,
+            },
+            op,
+        })
+        .collect()
+}
+
+/// Routes `cmds` in proposal order into one `CommandHistory` per shard
+/// (every involved shard sees every command that touches it, all shards
+/// seeing conflicting commands in the same relative order — what any
+/// correct per-shard consensus run guarantees).
+fn shard_histories(router: &ShardRouter, cmds: &[BankCmd]) -> Vec<CommandHistory<BankCmd>> {
+    let mut hists: Vec<CommandHistory<BankCmd>> = (0..router.n_shards())
+        .map(|_| CommandHistory::bottom())
+        .collect();
+    for cmd in cmds {
+        for &s in &router.route(cmd) {
+            hists[usize::from(s)].append(cmd.clone());
+        }
+    }
+    hists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Routing is a pure function of the command (stable across router
+    /// instances), targets are in range, sorted and deduplicated, and
+    /// universal-key commands involve every shard.
+    #[test]
+    fn routing_is_stable_bounded_and_deduped(
+        ops in prop::collection::vec(bank_op_with_audits(), 0..30),
+        n in 1u16..=8,
+    ) {
+        let cmds = cmds_from_ops(ops);
+        let r1 = ShardRouter::new(n);
+        let r2 = ShardRouter::new(n);
+        for cmd in &cmds {
+            let shards = r1.route(cmd);
+            prop_assert_eq!(&shards, &r2.route(cmd), "routing not stable");
+            prop_assert!(!shards.is_empty(), "command routed nowhere");
+            prop_assert!(shards.iter().all(|&s| s < n), "shard out of range");
+            prop_assert!(
+                shards.windows(2).all(|w| w[0] < w[1]),
+                "involved set not sorted/deduped: {:?}",
+                shards
+            );
+            if matches!(cmd.op, BankOp::Audit) {
+                prop_assert_eq!(shards.len(), usize::from(n), "audit must involve all shards");
+            }
+            prop_assert_eq!(
+                r1.is_cross_shard(cmd),
+                r1.route(cmd).len() > 1,
+                "is_cross_shard disagrees with route"
+            );
+        }
+    }
+
+    /// Conflict soundness: commands that interfere always share at least
+    /// one shard, so some shard's consensus instance orders them.
+    #[test]
+    fn routing_is_conflict_sound(
+        ops in prop::collection::vec(bank_op_with_audits(), 0..16),
+        n in 1u16..=8,
+    ) {
+        let cmds = cmds_from_ops(ops);
+        let router = ShardRouter::new(n);
+        for (i, a) in cmds.iter().enumerate() {
+            for b in &cmds[i + 1..] {
+                if a.conflicts(b) {
+                    let sa = router.route(a);
+                    let sb = router.route(b);
+                    prop_assert!(
+                        sa.iter().any(|s| sb.contains(s)),
+                        "conflicting {:?} / {:?} routed to disjoint shards {:?} / {:?}",
+                        a, b, sa, sb
+                    );
+                }
+            }
+        }
+    }
+
+    /// Differential oracle: merging per-shard learned histories yields
+    /// exactly the unsharded replica's final state — same bank state,
+    /// every command applied exactly once, and conflicting commands
+    /// applied in proposal order. Delivery happens in two rounds (a
+    /// prefix, then the full histories) to exercise the incremental
+    /// cursors, then the full histories are re-absorbed to check
+    /// exactly-once under duplicated delivery.
+    #[test]
+    fn sharded_merge_matches_unsharded_oracle(
+        ops in prop::collection::vec(bank_op_with_audits(), 0..40),
+        n in 1u16..=4,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let cmds = cmds_from_ops(ops);
+        let router = ShardRouter::new(n);
+        let full = shard_histories(&router, &cmds);
+        let split = (cmds.len() as f64 * split_frac) as usize;
+        let prefix = shard_histories(&router, &cmds[..split]);
+
+        let mut replica: ShardedReplica<Bank> = ShardedReplica::new(n).keep_log();
+        for (s, h) in prefix.iter().enumerate() {
+            replica.absorb_shard(s as u16, h);
+        }
+        for (s, h) in full.iter().enumerate() {
+            replica.absorb_shard(s as u16, h);
+        }
+
+        prop_assert_eq!(replica.pending(), 0, "merge left commands stranded");
+        prop_assert_eq!(replica.applied_count(), cmds.len() as u64);
+
+        // Duplicated delivery (a learner resend) must not re-apply.
+        for (s, h) in full.iter().enumerate() {
+            replica.absorb_shard(s as u16, h);
+        }
+        prop_assert_eq!(replica.applied_count(), cmds.len() as u64, "re-absorb re-applied");
+
+        // Exactly once: the applied log is a permutation of the input.
+        let mut seqs: Vec<u32> = replica.applied_log().iter().map(|c| c.id.seq).collect();
+        seqs.sort_unstable();
+        prop_assert_eq!(seqs, (0..cmds.len() as u32).collect::<Vec<_>>());
+
+        // Conflicting commands retain proposal order in the merged log.
+        let pos = |cmd: &BankCmd| {
+            replica.applied_log().iter().position(|c| c == cmd).unwrap()
+        };
+        for (i, a) in cmds.iter().enumerate() {
+            for b in &cmds[i + 1..] {
+                if a.conflicts(b) {
+                    prop_assert!(
+                        pos(a) < pos(b),
+                        "conflicting pair reordered: {:?} after {:?}",
+                        a, b
+                    );
+                }
+            }
+        }
+
+        // The merged machine equals the unsharded oracle: commuting
+        // commands may be applied in a different order, but the final
+        // state must be identical.
+        let mut oracle = Bank::default();
+        oracle.apply_all(&cmds);
+        prop_assert_eq!(replica.machine(), &oracle, "merged state diverged from unsharded run");
+    }
+
+    /// One shard degenerates to the unsharded replica: the applied log
+    /// is exactly the proposal order.
+    #[test]
+    fn single_shard_preserves_proposal_order(
+        ops in prop::collection::vec(bank_op_with_audits(), 0..30),
+    ) {
+        let cmds = cmds_from_ops(ops);
+        let router = ShardRouter::new(1);
+        let hists = shard_histories(&router, &cmds);
+        let mut replica: ShardedReplica<Bank> = ShardedReplica::new(1).keep_log();
+        replica.absorb_shard(0, &hists[0]);
+        prop_assert_eq!(replica.applied_log(), &cmds[..]);
+    }
+}
