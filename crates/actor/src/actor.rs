@@ -104,6 +104,17 @@ pub trait Actor: Any {
 
     /// Called when a timer armed through [`Context::set_timer`] fires.
     fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called when the link to `peer` was severed and re-established
+    /// (a partition healed, or a transport reconnected): messages sent to
+    /// `peer` in the interim may all have been lost, so any per-peer
+    /// incremental state — such as a delta-shipping base — must be reset.
+    /// The default ignores the notification, which is always safe: the
+    /// protocol already tolerates fair-lossy links, a reset merely skips
+    /// the `NeedFull` resync round-trip.
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<Self::Msg>) {
+        let _ = (peer, ctx);
+    }
 }
 
 /// Extension for downcasting boxed actors; used by test harnesses to inspect

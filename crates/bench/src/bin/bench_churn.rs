@@ -1,0 +1,123 @@
+//! CI-facing churn benchmark: coordinator failover under WAN chaos
+//! (experiment E13).
+//!
+//! Replays the 2-policy × 3-scenario churn matrix (leader crash, rolling
+//! restart, partition+heal on a 3-DC latency-matrix WAN) at one chaos
+//! seed and emits `BENCH_churn.json` — one record per run, including the
+//! per-command delivery-latency time series — so every CI run leaves a
+//! comparable artifact. With `--check`, exits non-zero unless
+//!
+//! * every run learns all commands by the horizon,
+//! * the leader-crash worst-case stall is ≥ 3× lower multicoordinated
+//!   than single-coordinated (same seed, same schedule),
+//! * the failure detector actually drove the single-coordinated
+//!   recovery (≥1 suspicion and ≥1 failover in its leader-crash run).
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_churn [--check] [--out PATH]`
+
+use mcpaxos_bench::churn_bench::{
+    churn_matrix, stall_ratio, ChurnRunStats, ChurnScenario, CHURN_COMMANDS, CHURN_SEED,
+};
+use std::fmt::Write as _;
+
+fn json_record(s: &ChurnRunStats) -> String {
+    let series: Vec<String> = s
+        .series
+        .iter()
+        .map(|l| l.map(|x| x.to_string()).unwrap_or_else(|| "null".into()))
+        .collect();
+    format!(
+        "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"commands\":{},\"learned\":{},\
+         \"mean_latency\":{:.2},\"max_stall\":{},\"suspicions\":{},\
+         \"false_suspicions\":{},\"failovers\":{},\"rounds\":{},\
+         \"latency_series\":[{}]}}",
+        s.scenario,
+        s.policy,
+        s.commands,
+        s.learned,
+        s.mean_latency,
+        s.max_stall,
+        s.suspicions,
+        s.false_suspicions,
+        s.failovers,
+        s.rounds,
+        series.join(","),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_churn.json".to_string());
+
+    let matrix = churn_matrix(CHURN_SEED);
+
+    let mut json = String::from("[\n");
+    for (i, r) in matrix.iter().enumerate() {
+        let sep = if i + 1 < matrix.len() { "," } else { "" };
+        let _ = writeln!(json, "  {}{}", json_record(r), sep);
+    }
+    json.push_str("]\n");
+    std::fs::write(&out, &json).expect("write BENCH_churn.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    for r in &matrix {
+        println!(
+            "{:<16} {:<13} learned {}/{}  mean {:.1}  worst stall {:>5}  \
+             suspicions {} ({} false)  failovers {}",
+            r.scenario,
+            r.policy,
+            r.learned,
+            r.commands,
+            r.mean_latency,
+            r.max_stall,
+            r.suspicions,
+            r.false_suspicions,
+            r.failovers,
+        );
+    }
+    let ratio = stall_ratio(&matrix, ChurnScenario::LeaderCrash);
+    println!("leader-crash worst-stall ratio (single/multi): {ratio:.1}x");
+
+    if check {
+        let mut failed = Vec::new();
+        for r in &matrix {
+            if r.learned != u64::from(CHURN_COMMANDS) {
+                failed.push(format!(
+                    "{} / {}: learned {} < {CHURN_COMMANDS}",
+                    r.scenario, r.policy, r.learned
+                ));
+            }
+        }
+        if ratio < 3.0 || ratio.is_nan() {
+            failed.push(format!(
+                "leader-crash worst-stall ratio {ratio:.1}x < 3x floor"
+            ));
+        }
+        if let Some(s) = matrix
+            .iter()
+            .find(|r| r.scenario == ChurnScenario::LeaderCrash.name() && r.policy == "single-coord")
+        {
+            if s.suspicions < 1 || s.failovers < 1 {
+                failed.push(format!(
+                    "single-coord leader crash recovered without the failure \
+                     detector (suspicions {}, failovers {})",
+                    s.suspicions, s.failovers
+                ));
+            }
+        }
+        if failed.is_empty() {
+            println!("CHECK PASSED (>=3x stall reduction under leader crash)");
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

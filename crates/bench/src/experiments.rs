@@ -772,6 +772,59 @@ pub fn e12_shards() -> Table {
     ))
 }
 
+/// E13 — coordinator churn on a 3-DC WAN: worst-case delivery stall per
+/// scenario and policy.
+pub fn e13_churn() -> Table {
+    use crate::churn_bench::{
+        churn_matrix, stall_ratio, ChurnScenario, CHURN_COMMANDS, CHURN_SEED,
+    };
+    let mut t = Table::new(
+        "E13 — Coordinator churn on a 3-DC WAN",
+        "a single-coordinated round stalls for the whole detect-elect-rephase \
+         window on every leader fault; a multicoordinated round keeps serving \
+         through its surviving coordinator quorum, so its worst-case stall stays \
+         near the WAN base latency (§4.1, under churn)",
+        &[
+            "scenario",
+            "policy",
+            "learned",
+            "mean latency",
+            "worst stall",
+            "suspicions (false)",
+            "failovers",
+        ],
+    );
+    let matrix = churn_matrix(CHURN_SEED);
+    for r in &matrix {
+        assert_eq!(
+            r.learned,
+            u64::from(CHURN_COMMANDS),
+            "{} / {}: churn run must learn everything",
+            r.scenario,
+            r.policy
+        );
+        t.row(&[
+            r.scenario.to_string(),
+            r.policy.to_string(),
+            format!("{}/{}", r.learned, r.commands),
+            f2(r.mean_latency),
+            r.max_stall.to_string(),
+            format!("{} ({})", r.suspicions, r.false_suspicions),
+            r.failovers.to_string(),
+        ]);
+    }
+    t.with_note(format!(
+        "{} commands on a 3-datacenter latency matrix (1-tick LANs, 20–40-tick \
+         WAN links), failure detector at 200 ticks, proposer backoff to 900. \
+         Same chaos seed per scenario, so runs compare stall-for-stall; the \
+         leader-crash worst-stall ratio here is {:.1}x (CI floor: ≥3x, \
+         `bench_churn --check`, which also writes the per-command delivery \
+         time series to BENCH_churn.json).",
+        CHURN_COMMANDS,
+        stall_ratio(&matrix, ChurnScenario::LeaderCrash),
+    ))
+}
+
 /// Smoke check used by the test-suite: every experiment renders non-empty.
 pub fn smoke() -> Vec<(String, usize)> {
     crate::all_experiments()

@@ -9,6 +9,7 @@
 //! `benches/` targets print one table per experiment and
 //! `cargo run --bin gen_experiments` regenerates `EXPERIMENTS.md`.
 
+pub mod churn_bench;
 pub mod experiments;
 pub mod harness;
 pub mod history_workloads;
@@ -37,5 +38,6 @@ pub fn all_experiments() -> Vec<Table> {
         experiments::e10_wire(),
         experiments::e11_wal(),
         experiments::e12_shards(),
+        experiments::e13_churn(),
     ]
 }

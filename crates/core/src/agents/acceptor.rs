@@ -723,6 +723,24 @@ impl<C: CStruct> Actor for Acceptor<C> {
                 }
             }
         }
+        // Announce the restart: our pre-crash ingest caches are gone, so
+        // senders holding a delta base for us (coordinators' "2a" bases,
+        // fellow acceptors' gossip "2b" bases) must downgrade to Full.
+        // Pure optimization — a lost Hello just re-opens the NeedFull
+        // path — so only spend the wire bytes when delta shipping is on.
+        if self.cfg.wire.delta_ship {
+            let me = ctx.me();
+            let peers: Vec<ProcessId> = self
+                .cfg
+                .roles
+                .coordinators()
+                .iter()
+                .chain(self.cfg.roles.acceptors())
+                .copied()
+                .filter(|&p| p != me)
+                .collect();
+            ctx.multicast(&peers, Msg::Hello);
+        }
     }
 
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
@@ -863,6 +881,12 @@ impl<C: CStruct> Actor for Acceptor<C> {
                     ctx.send(from, Msg::Stable { from: f, cmds: seg });
                 }
             }
+            // A peer restarted and lost the base of our "2b" deltas:
+            // drop it so the next send ships Full, saving the
+            // `NeedFull` round-trip a stale delta would trigger.
+            Msg::Hello if self.sent_2b.remove(&from).is_some() => {
+                ctx.metric(Metric::incr(metrics::BASE_RESETS));
+            }
             _ => {}
         }
     }
@@ -883,6 +907,15 @@ impl<C: CStruct> Actor for Acceptor<C> {
             if std::mem::take(&mut self.pending_2b) {
                 self.broadcast_2b_now(ctx);
             }
+        }
+    }
+
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<Msg<C>>) {
+        // A severed-then-healed link may have swallowed the "2b" whose
+        // value the peer's next delta would extend; downgrade to a Full
+        // payload rather than waiting for its `NeedFull`.
+        if self.sent_2b.remove(&peer).is_some() {
+            ctx.metric(Metric::incr(metrics::BASE_RESETS));
         }
     }
 }

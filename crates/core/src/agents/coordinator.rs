@@ -60,6 +60,15 @@ pub struct Coordinator<C: CStruct> {
     outstanding: Vec<C::Cmd>,
     /// Last heartbeat received, per coordinator.
     alive: BTreeMap<ProcessId, SimTime>,
+    /// Failure detector (active when `Timing::fd_suspect_after` > 0):
+    /// peer coordinators currently suspected of having crashed. The
+    /// leader view skips suspected peers, so a dead leader is demoted as
+    /// soon as its suspicion timeout lapses instead of `leader_timeout`.
+    suspected: BTreeSet<ProcessId>,
+    /// Per-peer suspicion backoff level: each *false* suspicion (the
+    /// suspect is heard from again) doubles that peer's suspicion
+    /// timeout, capped at `Timing::fd_backoff_max` doublings.
+    suspect_level: BTreeMap<ProcessId, u32>,
     max_heard: Round,
     last_progress: SimTime,
     /// Stable-prefix compaction state.
@@ -98,6 +107,8 @@ impl<C: CStruct> Coordinator<C> {
             backlog: Vec::new(),
             outstanding: Vec::new(),
             alive: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            suspect_level: BTreeMap::new(),
             max_heard: Round::ZERO,
             last_progress: SimTime::ZERO,
             comp,
@@ -122,12 +133,18 @@ impl<C: CStruct> Coordinator<C> {
 
     fn leader(&self, now: SimTime) -> ProcessId {
         let timeout = self.cfg.timing.leader_timeout;
+        // Never self-suspecting means the scan always terminates at
+        // `self.me` in the worst case: some coordinator is always leader
+        // in every view, so suspicion can demote but never livelock.
         *self
             .cfg
             .roles
             .coordinators()
             .iter()
             .find(|&&c| {
+                if self.fd_enabled() && self.suspected.contains(&c) {
+                    return false;
+                }
                 c == self.me
                     || self
                         .alive
@@ -136,6 +153,97 @@ impl<C: CStruct> Coordinator<C> {
                         .unwrap_or(false)
             })
             .unwrap_or(&self.me)
+    }
+
+    /// Coordinators this coordinator currently suspects (test accessor).
+    pub fn suspects(&self) -> Vec<ProcessId> {
+        self.suspected.iter().copied().collect()
+    }
+
+    /// The coordinator this one currently believes is leader.
+    pub fn leader_view(&self, now: SimTime) -> ProcessId {
+        self.leader(now)
+    }
+
+    fn fd_enabled(&self) -> bool {
+        self.cfg.timing.fd_suspect_after.ticks() > 0
+    }
+
+    /// Current suspicion timeout for `peer`: the base timeout doubled
+    /// once per past false suspicion, capped at `fd_backoff_max`.
+    fn fd_timeout(&self, peer: ProcessId) -> mcpaxos_actor::SimDuration {
+        let level = self
+            .suspect_level
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+            .min(self.cfg.timing.fd_backoff_max);
+        mcpaxos_actor::SimDuration(self.cfg.timing.fd_suspect_after.ticks() << level)
+    }
+
+    /// Whether round `r` keeps serving despite the currently suspected
+    /// coordinators: its unsuspected coordinator set still forms a
+    /// coordinator quorum (§4.1 — the availability edge of
+    /// multicoordinated rounds; a single-owner round rides through only
+    /// while its owner is unsuspected).
+    fn round_rides_through(&self, r: Round) -> bool {
+        let members = self.cfg.schedule.coordinators_of(r);
+        let live = members
+            .iter()
+            .filter(|c| !self.suspected.contains(c))
+            .count();
+        self.cfg.schedule.coord_quorum(r).is_quorum(live)
+    }
+
+    /// Failure-detector scan: suspect peers whose heartbeat silence
+    /// exceeds their (backed-off) suspicion timeout. If demoting them
+    /// makes this coordinator the leader, take over immediately — with a
+    /// fresh higher round if the active round lost its coordinator
+    /// quorum, and *without* one if it still rides through (§4.1: a
+    /// multicoordinated round absorbs the crash, so a phase-1 restart
+    /// would only add the stall it exists to avoid). Returns `true` when
+    /// a failover round was started (the caller's remaining leader
+    /// duties are moot for this tick).
+    fn fd_scan(&mut self, now: SimTime, ctx: &mut dyn Context<Msg<C>>) -> bool {
+        if !self.fd_enabled() {
+            return false;
+        }
+        let led_before = self.leader(now);
+        for c in self.cfg.roles.coordinators().to_vec() {
+            if c == self.me || self.suspected.contains(&c) {
+                continue;
+            }
+            let heard = self.alive.get(&c).copied().unwrap_or(SimTime::ZERO);
+            if now.since(heard) > self.fd_timeout(c) {
+                self.suspected.insert(c);
+                ctx.metric(Metric::incr(metrics::SUSPICIONS));
+            }
+        }
+        if led_before != self.me && self.leader(now) == self.me {
+            ctx.metric(Metric::incr(metrics::FAILOVERS));
+            let active = self.max_heard.max(self.crnd);
+            if !active.is_zero() && self.round_rides_through(active) {
+                // Ride-through takeover: leadership duties change hands,
+                // the round does not.
+                return false;
+            }
+            // The suspected leader's round is dead weight; claim a fresh
+            // higher round right away.
+            let r = self.fresh_round(active, now);
+            self.start_round(r, ctx);
+            return true;
+        }
+        false
+    }
+
+    /// A suspected peer spoke: the suspicion was false. Clear it and
+    /// double that peer's future suspicion timeout (up to the cap).
+    fn fd_hear(&mut self, from: ProcessId, ctx: &mut dyn Context<Msg<C>>) {
+        if self.suspected.remove(&from) {
+            let lvl = self.suspect_level.entry(from).or_insert(0);
+            *lvl = (*lvl + 1).min(self.cfg.timing.fd_backoff_max);
+            ctx.metric(Metric::incr(metrics::FALSE_SUSPICIONS));
+        }
     }
 
     /// Fresh-round type, honouring the §4.2 collision backoff: while a
@@ -480,8 +588,11 @@ impl<C: CStruct> Coordinator<C> {
             .filter(|&c| c != me)
             .collect();
         ctx.multicast(&peers, Msg::Heartbeat);
-        // Leadership duties.
         let now = ctx.now();
+        if self.fd_scan(now, ctx) {
+            return;
+        }
+        // Leadership duties.
         if self.leader(now) != self.me {
             return;
         }
@@ -544,6 +655,14 @@ impl<C: CStruct> Actor for Coordinator<C> {
         // But bootstrap max_heard to the floor, or a recovered leader
         // would keep proposing rounds below its own floor forever.
         self.max_heard = self.floor;
+        // Announce the restart: acceptors holding a "2b" delta base for
+        // this process must downgrade to Full payloads. Pure optimization
+        // (a lost Hello just re-opens the NeedFull path), so it is only
+        // worth wire bytes when delta shipping is on.
+        if self.cfg.wire.delta_ship {
+            let acceptors = self.cfg.roles.acceptors().to_vec();
+            ctx.multicast(&acceptors, Msg::Hello);
+        }
         self.on_start(ctx);
     }
 
@@ -675,7 +794,15 @@ impl<C: CStruct> Actor for Coordinator<C> {
                 }
             }
             Msg::Heartbeat => {
+                self.fd_hear(from, ctx);
                 self.alive.insert(from, ctx.now());
+            }
+            // A peer restarted: whatever delta base we had established
+            // with it is gone on its side. Dropping ours proactively
+            // means the next payload ships Full, saving the `NeedFull`
+            // round-trip a stale delta would trigger.
+            Msg::Hello if self.sent_2a.remove(&from).is_some() => {
+                ctx.metric(Metric::incr(metrics::BASE_RESETS));
             }
             _ => {}
         }
@@ -685,6 +812,15 @@ impl<C: CStruct> Actor for Coordinator<C> {
         if token == TOK_TICK {
             self.tick(ctx);
             ctx.set_timer(self.cfg.timing.heartbeat_every, TOK_TICK);
+        }
+    }
+
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<Msg<C>>) {
+        // A severed-then-healed link may have swallowed the "2a" whose
+        // value the peer's next delta would extend; downgrade to a Full
+        // payload rather than waiting for its `NeedFull`.
+        if self.sent_2a.remove(&peer).is_some() {
+            ctx.metric(Metric::incr(metrics::BASE_RESETS));
         }
     }
 }
@@ -912,5 +1048,127 @@ mod tests {
         cx.now = SimTime(100 + 1 + cfg.timing.stall_timeout.ticks() + 1);
         c1.on_timer(TOK_TICK, &mut cx);
         assert!(c1.crnd() > first, "stalled leader must start a new round");
+    }
+
+    fn fd_cfg() -> Arc<DeployConfig> {
+        // FD suspicion (100) well below leader_timeout (160) and
+        // stall_timeout (120): failover must beat both.
+        Arc::new(
+            DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated).with_timing(
+                crate::config::Timing::default().with_failure_detector(SimDuration(100)),
+            ),
+        )
+    }
+
+    #[test]
+    fn suspicion_fails_over_before_leader_or_stall_timeout() {
+        let mut c2: Coordinator<C> = Coordinator::new(fd_cfg(), ProcessId(2));
+        let mut cx = ctx_for(2);
+        c2.on_start(&mut cx); // everyone optimistically alive at t=100
+        cx.now = SimTime(100 + 99);
+        c2.on_timer(TOK_TICK, &mut cx);
+        assert!(c2.suspects().is_empty(), "inside the suspicion timeout");
+        assert!(c2.crnd().is_zero());
+        // One tick past the suspicion timeout — still well inside
+        // leader_timeout (160), where the non-FD path would stay silent.
+        cx.now = SimTime(100 + 101);
+        c2.on_timer(TOK_TICK, &mut cx);
+        assert!(c2.suspects().contains(&ProcessId(1)));
+        assert_eq!(c2.leader_view(cx.now), ProcessId(2));
+        assert!(!c2.crnd().is_zero(), "failover must start a round");
+        assert!(cx.sent.iter().any(|(_, m)| matches!(m, Msg::P1a { .. })));
+    }
+
+    #[test]
+    fn false_suspicion_doubles_the_timeout() {
+        let mut c2: Coordinator<C> = Coordinator::new(fd_cfg(), ProcessId(2));
+        let mut cx = ctx_for(2);
+        c2.on_start(&mut cx);
+        cx.now = SimTime(100 + 101);
+        c2.on_timer(TOK_TICK, &mut cx);
+        assert!(c2.suspects().contains(&ProcessId(1)));
+        // The "dead" leader speaks: suspicion was false.
+        cx.now = SimTime(210);
+        c2.on_message(ProcessId(1), Msg::Heartbeat, &mut cx);
+        assert!(!c2.suspects().contains(&ProcessId(1)));
+        // 150 ticks of silence: past the base timeout (100) but inside
+        // the doubled one (200) — the backoff holds fire.
+        cx.now = SimTime(210 + 150);
+        c2.on_timer(TOK_TICK, &mut cx);
+        assert!(!c2.suspects().contains(&ProcessId(1)));
+        // Past the doubled timeout: suspected again.
+        cx.now = SimTime(210 + 201);
+        c2.on_timer(TOK_TICK, &mut cx);
+        assert!(c2.suspects().contains(&ProcessId(1)));
+    }
+
+    #[test]
+    fn hello_drops_the_peer_delta_base() {
+        // `CmdSet` never produces deltas (no stable sequence), so observe
+        // the base bookkeeping through the `base_resets` metric: exactly
+        // one reset for the peer that said Hello, none for a repeat (the
+        // Full-vs-delta wire effect is pinned in `tests/hello_resync.rs`).
+        struct MCtx {
+            inner: Ctx,
+            metrics: Vec<&'static str>,
+        }
+        impl Context<Msg<C>> for MCtx {
+            fn me(&self) -> ProcessId {
+                self.inner.me
+            }
+            fn now(&self) -> SimTime {
+                self.inner.now
+            }
+            fn send(&mut self, to: ProcessId, msg: Msg<C>) {
+                self.inner.sent.push((to, msg));
+            }
+            fn set_timer(&mut self, _a: SimDuration, _t: TimerToken) {}
+            fn cancel_timer(&mut self, _t: TimerToken) {}
+            fn storage(&mut self) -> &mut dyn StableStore {
+                &mut self.inner.store
+            }
+            fn metric(&mut self, m: Metric) {
+                self.metrics.push(m.name);
+            }
+            fn random(&mut self) -> u64 {
+                0
+            }
+        }
+        let cfg = Arc::new(
+            DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated).with_wire(
+                crate::config::WireConfig {
+                    delta_ship: true,
+                    ..crate::config::WireConfig::default()
+                },
+            ),
+        );
+        let mut c1: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        let mut cx = MCtx {
+            inner: ctx_for(1),
+            metrics: vec![],
+        };
+        c1.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        // Phase2Start shipped a 2a to every acceptor: bases established.
+        let resets = |cx: &MCtx| {
+            cx.metrics
+                .iter()
+                .filter(|&&n| n == metrics::BASE_RESETS)
+                .count()
+        };
+        assert_eq!(resets(&cx), 0);
+        c1.on_message(ProcessId(4), Msg::Hello, &mut cx);
+        assert_eq!(resets(&cx), 1, "a4's base dropped proactively");
+        // Idempotent: a second Hello finds no base to drop.
+        c1.on_message(ProcessId(4), Msg::Hello, &mut cx);
+        assert_eq!(resets(&cx), 1);
+        // Link reset takes the same path for another peer.
+        c1.on_link_reset(ProcessId(5), &mut cx);
+        assert_eq!(resets(&cx), 2);
+        c1.on_link_reset(ProcessId(5), &mut cx);
+        assert_eq!(resets(&cx), 2);
     }
 }

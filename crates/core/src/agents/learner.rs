@@ -396,6 +396,17 @@ impl<C: CStruct> Actor for Learner<C> {
         self.arm_stable_gossip(ctx);
     }
 
+    fn on_recover(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        // Acceptors hold "2b" delta bases for this learner; the restart
+        // invalidated them on our side. Announce it so they downgrade to
+        // Full payloads instead of waiting for our `NeedFull`.
+        if self.cfg.wire.delta_ship {
+            let acceptors = self.cfg.roles.acceptors().to_vec();
+            ctx.multicast(&acceptors, Msg::Hello);
+        }
+        self.on_start(ctx);
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
         self.compact_tick(ctx);
         match msg {

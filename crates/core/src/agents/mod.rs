@@ -74,4 +74,18 @@ pub mod metrics {
     /// recovery (e.g. a promise record lost to a torn tail while the vote
     /// survived): recovered conservatively, surfaced for operators.
     pub const LOST_RECORDS: &str = "lost_records";
+    /// Failure-detector suspicions raised by coordinators (a peer
+    /// coordinator exceeded its suspicion timeout).
+    pub const SUSPICIONS: &str = "suspicions";
+    /// False suspicions: a suspected coordinator was heard from again
+    /// (its per-peer suspicion timeout doubles, up to the backoff cap).
+    pub const FALSE_SUSPICIONS: &str = "false_suspicions";
+    /// Leader failovers: a coordinator took over leadership after
+    /// suspecting the previous leader (starting a fresh higher round
+    /// only if the active round lost its coordinator quorum — a
+    /// multicoordinated round that still has one rides through).
+    pub const FAILOVERS: &str = "failovers";
+    /// Per-peer delta bases dropped proactively (peer recovery `Hello` or
+    /// a link reset) — each one is a `NeedFull` round-trip saved.
+    pub const BASE_RESETS: &str = "base_resets";
 }

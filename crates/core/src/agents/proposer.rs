@@ -15,7 +15,7 @@
 use crate::agents::{metrics, TOK_RESEND};
 use crate::config::DeployConfig;
 use crate::msg::Msg;
-use mcpaxos_actor::{Actor, Context, Metric, ProcessId, TimerToken};
+use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimDuration, TimerToken};
 use mcpaxos_cstruct::CStruct;
 use std::sync::Arc;
 
@@ -23,6 +23,11 @@ use std::sync::Arc;
 pub struct Proposer<C: CStruct> {
     cfg: Arc<DeployConfig>,
     pending: Vec<C::Cmd>,
+    /// Consecutive retransmission rounds without learning progress. When
+    /// `Timing::proposer_backoff_max` is set, the resend period doubles
+    /// with each attempt (capped there) so a partitioned or failing-over
+    /// cluster is not hammered at the base rate; any progress resets it.
+    attempts: u32,
 }
 
 impl<C: CStruct> Proposer<C> {
@@ -31,6 +36,7 @@ impl<C: CStruct> Proposer<C> {
         Proposer {
             cfg,
             pending: Vec::new(),
+            attempts: 0,
         }
     }
 
@@ -92,9 +98,24 @@ impl<C: CStruct> Proposer<C> {
 
     fn arm_resend(&self, ctx: &mut dyn Context<Msg<C>>) {
         let every = self.cfg.timing.proposer_resend;
-        if every.ticks() > 0 {
-            ctx.set_timer(every, TOK_RESEND);
+        if every.ticks() == 0 {
+            return;
         }
+        let mut delay = every.ticks();
+        let cap = self.cfg.timing.proposer_backoff_max.ticks();
+        if cap > 0 {
+            delay = delay
+                .saturating_mul(1u64 << self.attempts.min(16))
+                .min(cap.max(every.ticks()));
+        }
+        let jitter = self.cfg.timing.proposer_jitter.ticks();
+        if jitter > 0 {
+            // Jitter decorrelates proposers retransmitting into the same
+            // recovering cluster. Drawn only when configured, so default
+            // deployments consume no randomness here.
+            delay += ctx.random() % (jitter + 1);
+        }
+        ctx.set_timer(SimDuration(delay), TOK_RESEND);
     }
 }
 
@@ -115,7 +136,12 @@ impl<C: CStruct> Actor for Proposer<C> {
                 self.forward(&cmd, ctx);
             }
             Msg::Learned { cmds } => {
+                let before = self.pending.len();
                 self.pending.retain(|c| !cmds.contains(c));
+                if self.pending.len() < before {
+                    // Progress: the path works again, restart the ladder.
+                    self.attempts = 0;
+                }
             }
             _ => {}
         }
@@ -128,6 +154,9 @@ impl<C: CStruct> Actor for Proposer<C> {
                 for cmd in &self.pending {
                     self.forward(cmd, ctx);
                 }
+                self.attempts = self.attempts.saturating_add(1);
+            } else {
+                self.attempts = 0;
             }
             self.arm_resend(ctx);
         }

@@ -108,6 +108,27 @@ pub struct Timing {
     /// type (§4.2: "after some time of normal execution ... start a
     /// multicoordinated round again").
     pub collision_backoff: SimDuration,
+    /// Failure detector: heartbeat silence after which a coordinator
+    /// actively *suspects* a peer coordinator, demotes it from its leader
+    /// view and — if that makes this coordinator the leader — immediately
+    /// starts a higher round instead of waiting for `stall_timeout`.
+    /// 0 (the default) disables the detector: liveness then rests on
+    /// `leader_timeout`/`stall_timeout` exactly as before.
+    pub fd_suspect_after: SimDuration,
+    /// Exponential backoff cap for the failure detector: each time a
+    /// suspicion proves wrong (the suspect is heard from again) the
+    /// suspicion timeout for that peer doubles, up to `fd_suspect_after
+    /// << fd_backoff_max`. Guards against flapping on slow WAN links.
+    pub fd_backoff_max: u32,
+    /// Proposer retransmission backoff cap: when nonzero, consecutive
+    /// resends of the same pending set back off exponentially from
+    /// `proposer_resend` up to this cap (reset when the pending set
+    /// drains). 0 (the default) keeps the fixed `proposer_resend` period.
+    pub proposer_backoff_max: SimDuration,
+    /// Random jitter added to each proposer resend delay (uniform in
+    /// `[0, jitter)`), decorrelating retransmission bursts from many
+    /// proposers after a failover. 0 (the default) disables jitter.
+    pub proposer_jitter: SimDuration,
 }
 
 impl Default for Timing {
@@ -119,7 +140,29 @@ impl Default for Timing {
             proposer_resend: SimDuration(200),
             acceptor_resend: SimDuration(170),
             collision_backoff: SimDuration(600),
+            fd_suspect_after: SimDuration(0),
+            fd_backoff_max: 3,
+            proposer_backoff_max: SimDuration(0),
+            proposer_jitter: SimDuration(0),
         }
+    }
+}
+
+impl Timing {
+    /// Returns `self` with the failure detector enabled at the given
+    /// suspicion timeout (size it above the worst heartbeat RTT plus one
+    /// `heartbeat_every`, or every slow link becomes a false suspicion).
+    pub fn with_failure_detector(mut self, suspect_after: SimDuration) -> Self {
+        self.fd_suspect_after = suspect_after;
+        self
+    }
+
+    /// Returns `self` with proposer resends backing off exponentially up
+    /// to `cap`, each delay jittered by a uniform draw from `[0, jitter)`.
+    pub fn with_proposer_backoff(mut self, cap: SimDuration, jitter: SimDuration) -> Self {
+        self.proposer_backoff_max = cap;
+        self.proposer_jitter = jitter;
+        self
     }
 }
 
@@ -347,10 +390,25 @@ mod tests {
                 proposer_resend: SimDuration(40),
                 acceptor_resend: SimDuration(0),
                 collision_backoff: SimDuration(0),
+                ..Timing::default()
             });
         assert_eq!(cfg.durability, Durability::Naive);
         assert!(cfg.load_balance);
         assert!(!cfg.notify_learned);
         assert_eq!(cfg.timing.heartbeat_every, SimDuration(5));
+    }
+
+    #[test]
+    fn timing_builders_apply_and_default_off() {
+        let t = Timing::default();
+        assert_eq!(t.fd_suspect_after, SimDuration(0), "FD defaults off");
+        assert_eq!(t.proposer_backoff_max, SimDuration(0));
+        assert_eq!(t.proposer_jitter, SimDuration(0));
+        let t = t
+            .with_failure_detector(SimDuration(90))
+            .with_proposer_backoff(SimDuration(800), SimDuration(30));
+        assert_eq!(t.fd_suspect_after, SimDuration(90));
+        assert_eq!(t.proposer_backoff_max, SimDuration(800));
+        assert_eq!(t.proposer_jitter, SimDuration(30));
     }
 }

@@ -271,6 +271,14 @@ pub enum Msg<C: CStruct> {
         /// The requester's current watermark.
         from: u64,
     },
+    /// Restart announcement: "whatever you last shipped me died with my
+    /// volatile state — your next payload to me must be `Full`."
+    /// Broadcast from `on_recover` to the peers that track a per-peer
+    /// delta base for the sender, it proactively downgrades that base and
+    /// saves the `NeedFull` round-trip a stale delta would otherwise
+    /// cost. Purely an optimization: losing a `Hello` only re-opens the
+    /// `NeedFull` path.
+    Hello,
 }
 
 impl<C: CStruct> Msg<C> {
@@ -290,6 +298,7 @@ impl<C: CStruct> Msg<C> {
             Msg::StableAck { .. } => "stable_ack",
             Msg::Stable { .. } => "stable",
             Msg::NeedStable { .. } => "needstable",
+            Msg::Hello => "hello",
         }
     }
 }
@@ -353,6 +362,7 @@ impl<C: CStruct> Wire for Msg<C> {
                 out.push(12);
                 from.encode(out);
             }
+            Msg::Hello => out.push(13),
         }
     }
 
@@ -402,6 +412,7 @@ impl<C: CStruct> Wire for Msg<C> {
             12 => Ok(Msg::NeedStable {
                 from: u64::decode(input)?,
             }),
+            13 => Ok(Msg::Hello),
             _ => Err(WireError {
                 what: "invalid msg tag",
             }),
@@ -451,6 +462,7 @@ mod tests {
                 cmds: vec![],
             },
             Msg::NeedStable { from: 0 },
+            Msg::Hello,
         ];
         let tags: Vec<&str> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(
@@ -468,7 +480,8 @@ mod tests {
                 "stable_prop",
                 "stable_ack",
                 "stable",
-                "needstable"
+                "needstable",
+                "hello"
             ]
         );
     }
@@ -539,6 +552,7 @@ mod tests {
                 cmds: vec![9, 10],
             },
             Msg::NeedStable { from: 64 },
+            Msg::Hello,
         ];
         for m in msgs {
             let back: M = from_bytes(&to_bytes(&m)).unwrap();

@@ -193,6 +193,14 @@ impl<C: CStruct, A: Actor<Msg = Msg<C>>> Actor for Sharded<A> {
         };
         self.inner.on_timer(token, &mut sc);
     }
+
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<ShardMsg<C>>) {
+        let mut sc = ShardCtx {
+            shard: self.shard,
+            ctx,
+        };
+        self.inner.on_link_reset(peer, &mut sc);
+    }
 }
 
 /// Per-shard deployment configurations: shard `s` gets a

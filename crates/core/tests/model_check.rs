@@ -255,6 +255,99 @@ fn run(durability: Durability, group_commit: u64, depth: usize) -> mcpaxos_simne
     stats
 }
 
+/// Failure-detector churn invariants, checked on top of [`check`] at
+/// every explored state:
+///
+/// * **No suspect leads** — no up coordinator's leader view points at a
+///   coordinator it currently suspects.
+/// * **No leaderless livelock** — a coordinator suspecting every peer
+///   must consider *itself* leader (suspicion demotes, it never leaves
+///   the cluster without any leader candidate).
+fn check_churn(
+    net: &ExploreNet<Msg<C>>,
+    cfg: &Arc<DeployConfig>,
+    grown: &mut Grown,
+) -> Result<(), String> {
+    check(net, cfg, grown)?;
+    let now = net.now();
+    let coords = cfg.roles.coordinators();
+    for &p in coords {
+        let c = match net.actor::<Coordinator<C>>(p) {
+            Some(c) => c,
+            None => continue, // down: no view to check
+        };
+        let lv = c.leader_view(now);
+        let suspects = c.suspects();
+        if suspects.contains(&lv) {
+            return Err(format!("coordinator {p} follows a suspected leader {lv}"));
+        }
+        if suspects.len() == coords.len() - 1 && lv != p {
+            return Err(format!(
+                "coordinator {p} suspects every peer yet defers to {lv}: \
+                 a fully-suspicious coordinator must lead itself"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn exhaustive_coordinator_crash_during_round_change() {
+    // Coordinator churn scenario: the standard prefix runs to quiescence,
+    // then an acceptor nack forces the leader into a round change whose
+    // "1a"s are left in flight. The explorer may crash/recover the leader
+    // at any point of the change while the failure detector (suspect
+    // after 5 ticks of silence — far below the 160-tick leader timeout)
+    // drives the surviving coordinator's suspicion and takeover.
+    let timing = Timing {
+        proposer_resend: SimDuration(0),
+        acceptor_resend: SimDuration(0),
+        ..Timing::default()
+    }
+    .with_failure_detector(SimDuration(5));
+    let cfg = Arc::new(
+        DeployConfig::simple(1, 2, 3, 2, Policy::MultiCoordinated)
+            .with_durability(Durability::Reduced)
+            .with_timing(timing),
+    );
+    let leader = cfg.roles.coordinators()[0];
+    let ecfg = ExploreConfig {
+        max_depth: 5,
+        max_crashes: 1,
+        max_timer_fires: 2,
+        crash_candidates: vec![leader],
+        ..ExploreConfig::default()
+    };
+    let build_cfg = cfg.clone();
+    let stats = explore(
+        &ecfg,
+        move |net: &mut ExploreNet<Msg<C>>| {
+            prime(net, &build_cfg);
+            drain(net);
+            // A nack from the first acceptor carrying a higher round
+            // (the second coordinator's initial) preempts the leader…
+            let heard = build_cfg.schedule.initial(1, 0);
+            net.inject(
+                leader,
+                build_cfg.roles.acceptors()[0],
+                Msg::RoundTooLow { heard },
+            );
+            // …and delivering it starts the round change: the new "1a"
+            // broadcast is left in flight for the explorer to schedule.
+            net.apply(&Choice::Deliver(0));
+            assert!(
+                !net.pending().is_empty(),
+                "the round change must leave messages in flight"
+            );
+        },
+        move |net: &ExploreNet<Msg<C>>, grown: &mut Grown| check_churn(net, &cfg, grown),
+    )
+    .unwrap_or_else(|v| panic!("{v}"));
+    assert!(!stats.truncated, "exploration hit max_paths: {stats:?}");
+    assert!(stats.paths > 1, "degenerate exploration: {stats:?}");
+    println!("coordinator churn: {stats:?}");
+}
+
 #[test]
 fn exhaustive_reduced_group_commit() {
     // The headline scenario: Reduced durability (§4.4) + group commit —

@@ -1,0 +1,267 @@
+//! Declarative chaos schedules: timed crash/recover, partitions that
+//! heal, and link-degradation bursts, replayed deterministically.
+//!
+//! A [`ChaosSchedule`] is a plain list of `(time, event)` pairs built with
+//! chainable constructors, then installed into a [`Sim`] with
+//! [`ChaosSchedule::apply`]. Because the simulator is deterministic, a
+//! `(seed, topology, schedule)` triple fully determines the execution —
+//! the same churn scenario can be replayed against different protocol
+//! configurations and the results compared stall-for-stall.
+
+use crate::{NetConfig, Sim};
+use mcpaxos_actor::{ProcessId, SimDuration, SimTime};
+use std::fmt::Debug;
+
+/// One scheduled fault or environment change.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosEvent {
+    /// Crash a process (volatile state and pending timers are lost).
+    Crash(ProcessId),
+    /// Recover a crashed process from its stable storage.
+    Recover(ProcessId),
+    /// Block all traffic between the two groups.
+    Partition(Vec<ProcessId>, Vec<ProcessId>),
+    /// Remove every partition (peers get a link-reset notification).
+    Heal,
+    /// Replace the global network configuration (e.g. a latency burst or
+    /// loss spike); restore it with a later `Degrade` back to the
+    /// original config.
+    Degrade(NetConfig),
+}
+
+/// A deterministic, replayable fault schedule (see module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosSchedule {
+    events: Vec<(SimTime, ChaosEvent)>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        ChaosSchedule::default()
+    }
+
+    /// Crashes `p` at time `t`.
+    pub fn crash(mut self, t: SimTime, p: ProcessId) -> Self {
+        self.events.push((t, ChaosEvent::Crash(p)));
+        self
+    }
+
+    /// Recovers `p` at time `t`.
+    pub fn recover(mut self, t: SimTime, p: ProcessId) -> Self {
+        self.events.push((t, ChaosEvent::Recover(p)));
+        self
+    }
+
+    /// Crashes `p` at `t` and recovers it `down_for` later.
+    pub fn crash_for(self, t: SimTime, p: ProcessId, down_for: SimDuration) -> Self {
+        self.crash(t, p).recover(t + down_for, p)
+    }
+
+    /// Partitions group `a` from group `b` at time `t`.
+    pub fn partition(mut self, t: SimTime, a: Vec<ProcessId>, b: Vec<ProcessId>) -> Self {
+        self.events.push((t, ChaosEvent::Partition(a, b)));
+        self
+    }
+
+    /// Heals all partitions at time `t`.
+    pub fn heal(mut self, t: SimTime) -> Self {
+        self.events.push((t, ChaosEvent::Heal));
+        self
+    }
+
+    /// Partitions `a` from `b` at `t` and heals `lasts` later.
+    pub fn partition_for(
+        self,
+        t: SimTime,
+        a: Vec<ProcessId>,
+        b: Vec<ProcessId>,
+        lasts: SimDuration,
+    ) -> Self {
+        let end = t + lasts;
+        self.partition(t, a, b).heal(end)
+    }
+
+    /// Replaces the network configuration at time `t`.
+    pub fn degrade(mut self, t: SimTime, cfg: NetConfig) -> Self {
+        self.events.push((t, ChaosEvent::Degrade(cfg)));
+        self
+    }
+
+    /// Applies `burst` at `t` and restores `normal` `lasts` later.
+    pub fn degrade_for(
+        self,
+        t: SimTime,
+        burst: NetConfig,
+        lasts: SimDuration,
+        normal: NetConfig,
+    ) -> Self {
+        let end = t + lasts;
+        self.degrade(t, burst).degrade(end, normal)
+    }
+
+    /// Crashes each of `victims` in turn: the `i`-th crashes at
+    /// `start + i * period` and recovers `down_for` later. With
+    /// `down_for < period` at most one victim is down at a time — the
+    /// rolling-restart shape of a datacenter coordinator deploy.
+    pub fn rotate_crashes(
+        mut self,
+        victims: &[ProcessId],
+        start: SimTime,
+        period: SimDuration,
+        down_for: SimDuration,
+    ) -> Self {
+        for (i, &p) in victims.iter().enumerate() {
+            let t = SimTime(start.0 + i as u64 * period.0);
+            self = self.crash_for(t, p, down_for);
+        }
+        self
+    }
+
+    /// Partitions each group of `groups` away from the rest in turn: the
+    /// `i`-th group is cut off at `start + i * period` and healed
+    /// `lasts` later.
+    pub fn rotate_partitions(
+        mut self,
+        groups: &[Vec<ProcessId>],
+        start: SimTime,
+        period: SimDuration,
+        lasts: SimDuration,
+    ) -> Self {
+        for (i, g) in groups.iter().enumerate() {
+            let rest: Vec<ProcessId> = groups
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, h)| h.iter().copied())
+                .collect();
+            let t = SimTime(start.0 + i as u64 * period.0);
+            self = self.partition_for(t, g.clone(), rest, lasts);
+        }
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[(SimTime, ChaosEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last scheduled event (`SimTime::ZERO` if empty).
+    /// Harnesses run at least this far to see the whole scenario.
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|&(t, _)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Schedules every event into `sim`. Events are installed in
+    /// insertion order, so ties at one timestamp resolve in the order the
+    /// schedule listed them — deterministically.
+    pub fn apply<M: Clone + Debug + 'static>(&self, sim: &mut Sim<M>) {
+        for (t, ev) in &self.events {
+            match ev {
+                ChaosEvent::Crash(p) => sim.crash_at(*t, *p),
+                ChaosEvent::Recover(p) => sim.recover_at(*t, *p),
+                ChaosEvent::Partition(a, b) => sim.partition_at(*t, a.clone(), b.clone()),
+                ChaosEvent::Heal => sim.heal_at(*t),
+                ChaosEvent::Degrade(cfg) => sim.set_config_at(*t, cfg.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayDist;
+
+    const P: fn(u32) -> ProcessId = ProcessId;
+
+    #[test]
+    fn builders_record_events_in_order() {
+        let s = ChaosSchedule::new()
+            .crash_for(SimTime(100), P(2), SimDuration(50))
+            .partition_for(SimTime(200), vec![P(1)], vec![P(2), P(3)], SimDuration(40))
+            .degrade(SimTime(300), NetConfig::wan());
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.events()[0], (SimTime(100), ChaosEvent::Crash(P(2))));
+        assert_eq!(s.events()[1], (SimTime(150), ChaosEvent::Recover(P(2))));
+        assert_eq!(
+            s.events()[2],
+            (
+                SimTime(200),
+                ChaosEvent::Partition(vec![P(1)], vec![P(2), P(3)])
+            )
+        );
+        assert_eq!(s.events()[3], (SimTime(240), ChaosEvent::Heal));
+        assert_eq!(s.horizon(), SimTime(300));
+    }
+
+    #[test]
+    fn rotate_crashes_staggers_victims() {
+        let s = ChaosSchedule::new().rotate_crashes(
+            &[P(1), P(2), P(3)],
+            SimTime(500),
+            SimDuration(200),
+            SimDuration(80),
+        );
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.events()[0], (SimTime(500), ChaosEvent::Crash(P(1))));
+        assert_eq!(s.events()[1], (SimTime(580), ChaosEvent::Recover(P(1))));
+        assert_eq!(s.events()[2], (SimTime(700), ChaosEvent::Crash(P(2))));
+        assert_eq!(s.events()[5], (SimTime(980), ChaosEvent::Recover(P(3))));
+    }
+
+    #[test]
+    fn rotate_partitions_cuts_each_group_from_the_rest() {
+        let groups = vec![vec![P(1), P(2)], vec![P(3)], vec![P(4)]];
+        let s = ChaosSchedule::new().rotate_partitions(
+            &groups,
+            SimTime(100),
+            SimDuration(100),
+            SimDuration(60),
+        );
+        assert_eq!(s.len(), 6);
+        assert_eq!(
+            s.events()[0],
+            (
+                SimTime(100),
+                ChaosEvent::Partition(vec![P(1), P(2)], vec![P(3), P(4)])
+            )
+        );
+        assert_eq!(s.events()[1], (SimTime(160), ChaosEvent::Heal));
+        assert_eq!(
+            s.events()[2],
+            (
+                SimTime(200),
+                ChaosEvent::Partition(vec![P(3)], vec![P(1), P(2), P(4)])
+            )
+        );
+    }
+
+    #[test]
+    fn degrade_for_restores_the_normal_config() {
+        let normal = NetConfig::lockstep();
+        let burst = NetConfig::lockstep().with_delay(DelayDist::Uniform(10, 50));
+        let s = ChaosSchedule::new().degrade_for(
+            SimTime(100),
+            burst.clone(),
+            SimDuration(200),
+            normal.clone(),
+        );
+        assert_eq!(s.events()[0], (SimTime(100), ChaosEvent::Degrade(burst)));
+        assert_eq!(s.events()[1], (SimTime(300), ChaosEvent::Degrade(normal)));
+    }
+}

@@ -192,6 +192,13 @@ impl<M: Clone + Debug + 'static> ExploreNet<M> {
         self.procs.get(&p).map(|n| n.up).unwrap_or(false)
     }
 
+    /// The logical clock: one tick per applied [`Choice`]. Invariant
+    /// checks that consult time-dependent actor views (leader election,
+    /// failure detection) need the same `now` the actors last saw.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// All registered process ids.
     pub fn processes(&self) -> Vec<ProcessId> {
         self.procs.keys().copied().collect()

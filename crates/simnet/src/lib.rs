@@ -36,12 +36,16 @@
 //! assert_eq!(sim.now().ticks(), 4); // hops carrying 0,1,2,3 then silence
 //! ```
 
+mod chaos;
 mod config;
 pub mod explore;
 mod sim;
+mod topology;
 mod trace;
 
+pub use chaos::{ChaosEvent, ChaosSchedule};
 pub use config::{DelayDist, NetConfig};
 pub use explore::{explore, Choice, ExploreConfig, ExploreNet, ExploreStats, Violation};
 pub use sim::{ByteMeter, ProcessStats, Sim, StorageFactory, WireTotal};
+pub use topology::Topology;
 pub use trace::{TraceEntry, TraceKind};

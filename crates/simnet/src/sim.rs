@@ -1,6 +1,6 @@
 //! The simulator core: event heap, process table, fault injection.
 
-use crate::{NetConfig, TraceEntry, TraceKind};
+use crate::{DelayDist, NetConfig, Topology, TraceEntry, TraceKind};
 use mcpaxos_actor::{
     Actor, Context, MemStore, Metric, MetricSink, Metrics, ProcessId, SimDuration, SimTime,
     StableStore, TimerToken,
@@ -57,11 +57,14 @@ enum Event<M> {
         at: ProcessId,
         token: TimerToken,
         arm: u64,
+        /// Crash epoch at arm time — see the assertion in `dispatch`.
+        epoch: u64,
     },
     Crash(ProcessId),
     Recover(ProcessId),
     Partition(Vec<ProcessId>, Vec<ProcessId>),
     Heal,
+    Reconfig(NetConfig),
 }
 
 struct Scheduled<M> {
@@ -97,6 +100,9 @@ struct ProcNode<M> {
     /// latest arm id for its token (cancel/re-arm/crash invalidate).
     next_arm: u64,
     timers: BTreeMap<TimerToken, u64>,
+    /// Bumped on every crash; timer events stamped with an older epoch
+    /// must never validate (the `timers` map was cleared at the crash).
+    epoch: u64,
     stats: ProcessStats,
 }
 
@@ -105,6 +111,7 @@ enum UpKind<M> {
     Recover,
     Msg(ProcessId, M),
     Timer(TimerToken),
+    LinkReset(ProcessId),
 }
 
 /// The deterministic discrete-event simulator.
@@ -118,6 +125,7 @@ pub struct Sim<M> {
     heap: BinaryHeap<Scheduled<M>>,
     rng: StdRng,
     config: NetConfig,
+    topology: Option<Topology>,
     procs: BTreeMap<ProcessId, ProcNode<M>>,
     partitions: Vec<(Vec<ProcessId>, Vec<ProcessId>)>,
     metrics: Metrics,
@@ -138,6 +146,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             heap: BinaryHeap::new(),
             rng: StdRng::seed_from_u64(seed),
             config,
+            topology: None,
             procs: BTreeMap::new(),
             partitions: Vec::new(),
             metrics: Metrics::new(),
@@ -184,6 +193,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 storage,
                 next_arm: 0,
                 timers: BTreeMap::new(),
+                epoch: 0,
                 stats: ProcessStats::default(),
             },
         );
@@ -252,7 +262,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     /// sampled link delay. Never lost or duplicated — used by harnesses to
     /// feed client traffic.
     pub fn inject(&mut self, to: ProcessId, from: ProcessId, msg: M) {
-        let d = self.config.delay.sample(&mut self.rng);
+        let d = self.pair_delay(from, to).sample(&mut self.rng);
         let at = self.now + SimDuration(d);
         self.schedule(at, Event::Deliver { to, from, msg });
     }
@@ -285,9 +295,20 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.schedule(t, Event::Partition(a, b));
     }
 
-    /// Removes all partitions at time `t`.
+    /// Removes all partitions at time `t`. Every process that was cut
+    /// off from a peer gets an [`Actor::on_link_reset`] upcall for that
+    /// peer — the simulated analogue of a transport reconnect
+    /// notification, letting senders drop per-peer incremental state.
     pub fn heal_at(&mut self, t: SimTime) {
         self.schedule(t, Event::Heal);
+    }
+
+    /// Replaces the network configuration at time `t` (e.g. a scheduled
+    /// link-degradation burst). Unlike [`Sim::set_config`], the change is
+    /// ordered into the event stream, so a `(seed, schedule)` pair stays
+    /// deterministic.
+    pub fn set_config_at(&mut self, t: SimTime, config: NetConfig) {
+        self.schedule(t, Event::Reconfig(config));
     }
 
     // ----- inspection -----------------------------------------------------
@@ -347,6 +368,18 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     /// Replaces the network configuration mid-run (e.g. to raise jitter).
     pub fn set_config(&mut self, config: NetConfig) {
         self.config = config;
+    }
+
+    /// Installs a per-pair latency matrix. Pairs with an entry sample
+    /// their own delay distribution; all other pairs keep sampling the
+    /// global [`NetConfig::delay`] exactly as before.
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.topology = Some(topology);
+    }
+
+    /// The installed latency matrix, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// All registered process ids.
@@ -422,6 +455,15 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.byte_meter.as_ref().map(|m| m(msg).1).unwrap_or(0)
     }
 
+    /// The delay distribution for one transmission: the topology entry
+    /// for the pair if present, the global delay otherwise.
+    fn pair_delay(&self, from: ProcessId, to: ProcessId) -> DelayDist {
+        self.topology
+            .as_ref()
+            .and_then(|t| t.delay_between(from, to))
+            .unwrap_or(self.config.delay)
+    }
+
     fn is_blocked(&self, a: ProcessId, b: ProcessId) -> bool {
         self.partitions.iter().any(|(ga, gb)| {
             (ga.contains(&a) && gb.contains(&b)) || (ga.contains(&b) && gb.contains(&a))
@@ -449,7 +491,12 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 }
                 self.upcall(to, UpKind::Msg(from, msg));
             }
-            Event::Timer { at, token, arm } => {
+            Event::Timer {
+                at,
+                token,
+                arm,
+                epoch,
+            } => {
                 let valid = self
                     .procs
                     .get(&at)
@@ -458,6 +505,14 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 if !valid {
                     return;
                 }
+                // A timer armed before a crash must never validate after
+                // the matching recover: the crash cleared `timers` and
+                // `next_arm` only moves forward, so an arm match implies
+                // the arm happened in the current crash epoch.
+                assert_eq!(
+                    epoch, self.procs[&at].epoch,
+                    "stale pre-crash timer {token:?} fired across a recover at {at}"
+                );
                 if let Some(n) = self.procs.get_mut(&at) {
                     n.timers.remove(&token);
                     n.stats.timers_fired += 1;
@@ -471,6 +526,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                         n.up = false;
                         n.actor = None;
                         n.timers.clear();
+                        n.epoch += 1;
                         // Buffered-but-unflushed stable writes die with
                         // the process (group commit's crash semantics).
                         n.storage.lose_unflushed();
@@ -492,7 +548,30 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 self.partitions.push((a, b));
             }
             Event::Heal => {
+                // Collect the pairs that were cut off before clearing,
+                // then notify both endpoints of each severed link. Pairs
+                // are deduplicated and iterated in sorted order, so heal
+                // notifications are deterministic.
+                let mut pairs: std::collections::BTreeSet<(ProcessId, ProcessId)> =
+                    std::collections::BTreeSet::new();
+                for (ga, gb) in &self.partitions {
+                    for &a in ga {
+                        for &b in gb {
+                            if a != b {
+                                pairs.insert((a, b));
+                                pairs.insert((b, a));
+                            }
+                        }
+                    }
+                }
                 self.partitions.clear();
+                for (p, peer) in pairs {
+                    // `upcall` skips processes that are down or absent.
+                    self.upcall(p, UpKind::LinkReset(peer));
+                }
+            }
+            Event::Reconfig(config) => {
+                self.config = config;
             }
         }
     }
@@ -525,6 +604,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 UpKind::Recover => actor.on_recover(&mut ctx),
                 UpKind::Msg(from, m) => actor.on_message(from, m, &mut ctx),
                 UpKind::Timer(tok) => actor.on_timer(tok, &mut ctx),
+                UpKind::LinkReset(peer) => actor.on_link_reset(peer, &mut ctx),
             }
         }
         let disk_writes = storage.write_count() - writes_before;
@@ -546,12 +626,12 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             }
         }
         for (after, token) in fx.timer_sets.drain(..) {
-            let arm = {
+            let (arm, epoch) = {
                 let node = self.procs.get_mut(&pid).expect("node exists");
                 node.next_arm += 1;
                 let arm = node.next_arm;
                 node.timers.insert(token, arm);
-                arm
+                (arm, node.epoch)
             };
             self.schedule(
                 base + after,
@@ -559,6 +639,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                     at: pid,
                     token,
                     arm,
+                    epoch,
                 },
             );
         }
@@ -609,8 +690,9 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         } else {
             1
         };
+        let dist = self.pair_delay(from, to);
         for _ in 0..copies {
-            let d = self.config.delay.sample(&mut self.rng);
+            let d = dist.sample(&mut self.rng);
             self.schedule(
                 base + SimDuration(d),
                 Event::Deliver {

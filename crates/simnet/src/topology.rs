@@ -1,0 +1,156 @@
+//! Latency-matrix topology: per-process-pair delay distributions.
+//!
+//! A [`Topology`] layers a directional delay matrix over the global
+//! [`crate::NetConfig`]: pairs with an entry sample their own
+//! [`DelayDist`]; pairs without one fall back to the global delay, with
+//! the exact same RNG draw sequence as an un-topologized run. Entries are
+//! directional, so asymmetric links (e.g. a congested up-link) are
+//! expressible; [`Topology::symmetric`] installs both directions at once.
+
+use crate::DelayDist;
+use mcpaxos_actor::ProcessId;
+use std::collections::BTreeMap;
+
+/// A per-process-pair delay matrix (see module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Topology {
+    links: BTreeMap<(ProcessId, ProcessId), DelayDist>,
+}
+
+impl Topology {
+    /// An empty matrix: every pair falls back to the global delay.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Installs `dist` for messages from `from` to `to` (one direction).
+    pub fn link(mut self, from: ProcessId, to: ProcessId, dist: DelayDist) -> Self {
+        self.links.insert((from, to), dist);
+        self
+    }
+
+    /// Installs `dist` in both directions between `a` and `b`.
+    pub fn symmetric(self, a: ProcessId, b: ProcessId, dist: DelayDist) -> Self {
+        self.link(a, b, dist).link(b, a, dist)
+    }
+
+    /// Builds a multi-datacenter matrix: every ordered pair within one
+    /// datacenter gets `intra`; every pair spanning datacenters `(i, j)`
+    /// (unordered, `i < j` or `j < i` both match) gets the matching entry
+    /// of `inter`, symmetrically. DC pairs absent from `inter` fall back
+    /// to the global delay.
+    pub fn datacenters(
+        dcs: &[Vec<ProcessId>],
+        intra: DelayDist,
+        inter: &[(usize, usize, DelayDist)],
+    ) -> Self {
+        let mut t = Topology::new();
+        for dc in dcs {
+            for &a in dc {
+                for &b in dc {
+                    if a != b {
+                        t = t.link(a, b, intra);
+                    }
+                }
+            }
+        }
+        for &(i, j, dist) in inter {
+            for &a in &dcs[i] {
+                for &b in &dcs[j] {
+                    t = t.symmetric(a, b, dist);
+                }
+            }
+        }
+        t
+    }
+
+    /// The delay distribution for `from → to`, if the matrix has one.
+    pub fn delay_between(&self, from: ProcessId, to: ProcessId) -> Option<DelayDist> {
+        self.links.get(&(from, to)).copied()
+    }
+
+    /// Number of directional links in the matrix.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The largest delay any link in the matrix can produce (0 if empty).
+    /// Useful for sizing failure-detector timeouts above the worst RTT.
+    pub fn max_delay(&self) -> u64 {
+        self.links.values().map(|d| d.max()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: fn(u32) -> ProcessId = ProcessId;
+
+    #[test]
+    fn links_are_directional() {
+        let t = Topology::new().link(P(1), P(2), DelayDist::Fixed(10)).link(
+            P(2),
+            P(1),
+            DelayDist::Fixed(90),
+        );
+        assert_eq!(t.delay_between(P(1), P(2)), Some(DelayDist::Fixed(10)));
+        assert_eq!(t.delay_between(P(2), P(1)), Some(DelayDist::Fixed(90)));
+        assert_eq!(t.delay_between(P(1), P(3)), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_delay(), 90);
+    }
+
+    #[test]
+    fn symmetric_installs_both_directions() {
+        let t = Topology::new().symmetric(P(1), P(2), DelayDist::Uniform(3, 5));
+        assert_eq!(t.delay_between(P(1), P(2)), Some(DelayDist::Uniform(3, 5)));
+        assert_eq!(t.delay_between(P(2), P(1)), Some(DelayDist::Uniform(3, 5)));
+    }
+
+    #[test]
+    fn datacenter_matrix_covers_all_pairs() {
+        let dcs = vec![vec![P(1), P(2)], vec![P(3)], vec![P(4)]];
+        let t = Topology::datacenters(
+            &dcs,
+            DelayDist::Fixed(1),
+            &[
+                (0, 1, DelayDist::Uniform(20, 30)),
+                (0, 2, DelayDist::Uniform(40, 60)),
+                // DC pair (1, 2) intentionally absent: global fallback.
+            ],
+        );
+        // Intra-DC.
+        assert_eq!(t.delay_between(P(1), P(2)), Some(DelayDist::Fixed(1)));
+        assert_eq!(t.delay_between(P(2), P(1)), Some(DelayDist::Fixed(1)));
+        // Inter-DC, both directions.
+        assert_eq!(
+            t.delay_between(P(1), P(3)),
+            Some(DelayDist::Uniform(20, 30))
+        );
+        assert_eq!(
+            t.delay_between(P(3), P(2)),
+            Some(DelayDist::Uniform(20, 30))
+        );
+        assert_eq!(
+            t.delay_between(P(4), P(1)),
+            Some(DelayDist::Uniform(40, 60))
+        );
+        // Unlisted DC pair falls through.
+        assert_eq!(t.delay_between(P(3), P(4)), None);
+        assert_eq!(t.max_delay(), 60);
+    }
+
+    #[test]
+    fn empty_matrix_always_falls_back() {
+        let t = Topology::new();
+        assert!(t.is_empty());
+        assert_eq!(t.delay_between(P(1), P(2)), None);
+        assert_eq!(t.max_delay(), 0);
+    }
+}

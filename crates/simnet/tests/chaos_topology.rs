@@ -1,0 +1,230 @@
+//! Behavioural tests for the latency-matrix topology, scheduled
+//! reconfiguration, heal-driven link resets and chaos-schedule replay.
+
+use mcpaxos_actor::{Actor, Context, ProcessId, SimDuration, SimTime, TimerToken};
+use mcpaxos_simnet::{ChaosSchedule, DelayDist, NetConfig, Sim, Topology};
+
+const P0: ProcessId = ProcessId(0);
+const P1: ProcessId = ProcessId(1);
+const P2: ProcessId = ProcessId(2);
+
+/// Records `(msg, arrival_time)` and echoes `msg+1` while below a bound.
+struct Echo {
+    bound: u32,
+    received: Vec<(u32, u64)>,
+    resets: Vec<ProcessId>,
+}
+
+impl Echo {
+    fn boxed(bound: u32) -> Box<dyn Actor<Msg = u32>> {
+        Box::new(Echo {
+            bound,
+            received: vec![],
+            resets: vec![],
+        })
+    }
+}
+
+impl Actor for Echo {
+    type Msg = u32;
+    fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32>) {
+        self.received.push((msg, ctx.now().ticks()));
+        if msg < self.bound {
+            ctx.send(from, msg + 1);
+        }
+    }
+    fn on_timer(&mut self, _t: TimerToken, _c: &mut dyn Context<u32>) {}
+    fn on_link_reset(&mut self, peer: ProcessId, _ctx: &mut dyn Context<u32>) {
+        self.resets.push(peer);
+    }
+}
+
+#[test]
+fn topology_applies_asymmetric_pair_delays() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.set_topology(Topology::new().link(P0, P1, DelayDist::Fixed(10)).link(
+        P1,
+        P0,
+        DelayDist::Fixed(3),
+    ));
+    sim.add_process(P0, || Echo::boxed(2));
+    sim.add_process(P1, || Echo::boxed(2));
+    sim.inject_at(SimTime(1), P0, P1, 0);
+    sim.run_to_quiescence(100);
+    // 0 lands at P0 at t=1; P0→P1 takes 10 → 1 at t=11; P1→P0 takes 3 →
+    // 2 at t=14; bound reached.
+    let a: &Echo = sim.actor(P0).unwrap();
+    let b: &Echo = sim.actor(P1).unwrap();
+    assert_eq!(a.received, vec![(0, 1), (2, 14)]);
+    assert_eq!(b.received, vec![(1, 11)]);
+}
+
+#[test]
+fn pairs_without_topology_entry_fall_back_to_global_delay() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    // Matrix only covers P0↔P1; P2 traffic uses the global Fixed(1).
+    sim.set_topology(Topology::new().symmetric(P0, P1, DelayDist::Fixed(10)));
+    sim.add_process(P0, || Echo::boxed(0));
+    sim.add_process(P2, || Echo::boxed(2));
+    sim.inject_at(SimTime(1), P2, P0, 0);
+    sim.run_to_quiescence(100);
+    let c: &Echo = sim.actor(P2).unwrap();
+    assert_eq!(c.received, vec![(0, 1)]);
+    let a: &Echo = sim.actor(P0).unwrap();
+    assert_eq!(a.received, vec![(1, 2)], "P2→P0 must take the global 1");
+}
+
+#[test]
+fn datacenter_matrix_shapes_round_trips() {
+    // Two DCs: {P0} and {P1, P2}. Intra 1 tick, inter 25 ticks.
+    let topo = Topology::datacenters(
+        &[vec![P0], vec![P1, P2]],
+        DelayDist::Fixed(1),
+        &[(0, 1, DelayDist::Fixed(25))],
+    );
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.set_topology(topo);
+    sim.add_process(P0, || Echo::boxed(0));
+    sim.add_process(P1, || Echo::boxed(1));
+    sim.add_process(P2, || Echo::boxed(2));
+    // P2 → P1 intra-DC, then P1 → P2 intra back.
+    sim.inject_at(SimTime(1), P1, P2, 0);
+    sim.run_to_quiescence(100);
+    let b: &Echo = sim.actor(P1).unwrap();
+    let c: &Echo = sim.actor(P2).unwrap();
+    assert_eq!(b.received, vec![(0, 1), (2, 3)]);
+    assert_eq!(c.received, vec![(1, 2)], "intra-DC hop is 1 tick");
+    // P0 → P2 crosses DCs: seed 0 at P2, echo crosses back at 25 ticks.
+    let mut sim2 = Sim::new(1, NetConfig::lockstep());
+    sim2.set_topology(Topology::datacenters(
+        &[vec![P0], vec![P1, P2]],
+        DelayDist::Fixed(1),
+        &[(0, 1, DelayDist::Fixed(25))],
+    ));
+    sim2.add_process(P0, || Echo::boxed(1));
+    sim2.add_process(P2, || Echo::boxed(1));
+    sim2.inject_at(SimTime(1), P2, P0, 0);
+    sim2.run_to_quiescence(100);
+    let a: &Echo = sim2.actor(P0).unwrap();
+    let c: &Echo = sim2.actor(P2).unwrap();
+    assert_eq!(c.received, vec![(0, 1)]);
+    assert_eq!(a.received, vec![(1, 26)], "inter-DC hop is 25 ticks");
+}
+
+#[test]
+fn set_config_at_degrades_at_the_scheduled_time() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Echo::boxed(0));
+    sim.set_config_at(
+        SimTime(50),
+        NetConfig::lockstep().with_delay(DelayDist::Fixed(10)),
+    );
+    // Before the burst: global delay 1.
+    sim.run_until(SimTime(10));
+    sim.inject(P0, P1, 1);
+    // After the burst: global delay 10.
+    sim.run_until(SimTime(60));
+    sim.inject(P0, P1, 2);
+    sim.run_until(SimTime(100));
+    let a: &Echo = sim.actor(P0).unwrap();
+    assert_eq!(a.received, vec![(1, 11), (2, 70)]);
+    assert_eq!(sim.config().delay, DelayDist::Fixed(10));
+}
+
+#[test]
+fn heal_notifies_both_sides_of_each_severed_link() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Echo::boxed(0));
+    sim.add_process(P1, || Echo::boxed(0));
+    sim.add_process(P2, || Echo::boxed(0));
+    sim.partition_at(SimTime(5), vec![P0], vec![P1, P2]);
+    sim.heal_at(SimTime(20));
+    sim.run_until(SimTime(30));
+    let a: &Echo = sim.actor(P0).unwrap();
+    let b: &Echo = sim.actor(P1).unwrap();
+    let c: &Echo = sim.actor(P2).unwrap();
+    assert_eq!(a.resets, vec![P1, P2], "P0 was cut from both peers");
+    assert_eq!(b.resets, vec![P0]);
+    assert_eq!(c.resets, vec![P0]);
+}
+
+#[test]
+fn heal_skips_downed_processes() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Echo::boxed(0));
+    sim.add_process(P1, || Echo::boxed(0));
+    sim.partition_at(SimTime(5), vec![P0], vec![P1]);
+    sim.crash_at(SimTime(10), P1);
+    sim.heal_at(SimTime(20));
+    sim.recover_at(SimTime(25), P1);
+    sim.run_until(SimTime(30));
+    let a: &Echo = sim.actor(P0).unwrap();
+    let b: &Echo = sim.actor(P1).unwrap();
+    assert_eq!(a.resets, vec![P1], "the up side still hears the reset");
+    assert!(b.resets.is_empty(), "a downed process gets no upcall");
+}
+
+#[test]
+fn chaos_schedule_replays_identically_from_a_seed() {
+    let run = |seed: u64| -> (Vec<String>, Vec<(u32, u64)>) {
+        let mut sim = Sim::new(
+            seed,
+            NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 5)),
+        );
+        sim.set_topology(Topology::new().symmetric(P0, P1, DelayDist::Uniform(2, 9)));
+        sim.enable_trace(10_000);
+        sim.add_process(P0, || Echo::boxed(40));
+        sim.add_process(P1, || Echo::boxed(40));
+        ChaosSchedule::new()
+            .crash_for(SimTime(30), P1, SimDuration(20))
+            .partition_for(SimTime(80), vec![P0], vec![P1], SimDuration(15))
+            .degrade_for(
+                SimTime(120),
+                NetConfig::lockstep().with_delay(DelayDist::Uniform(5, 30)),
+                SimDuration(50),
+                NetConfig::lockstep().with_delay(DelayDist::Uniform(1, 5)),
+            )
+            .apply(&mut sim);
+        sim.inject_at(SimTime(1), P0, P1, 0);
+        sim.inject_at(SimTime(90), P0, P1, 0);
+        sim.run_until(SimTime(400));
+        let trace = sim.trace().iter().map(|e| e.render()).collect();
+        let got = sim.actor::<Echo>(P0).unwrap().received.clone();
+        (trace, got)
+    };
+    let (t1, r1) = run(11);
+    let (t2, r2) = run(11);
+    assert_eq!(t1, t2, "same seed + schedule must replay identically");
+    assert_eq!(r1, r2);
+    let (t3, _) = run(12);
+    assert_ne!(t1, t3, "a different seed must diverge under jitter");
+}
+
+#[test]
+fn topology_does_not_perturb_untopologized_rng_stream() {
+    // Installing a matrix that covers NO pairs used by the run must leave
+    // a jittery execution bit-for-bit identical: the fallback path draws
+    // the same RNG samples in the same order.
+    let run = |with_topo: bool| -> Vec<String> {
+        let mut sim = Sim::new(
+            7,
+            NetConfig::lockstep()
+                .with_delay(DelayDist::Uniform(1, 6))
+                .with_loss(0.1),
+        );
+        if with_topo {
+            sim.set_topology(Topology::new().symmetric(
+                ProcessId(50),
+                ProcessId(51),
+                DelayDist::Fixed(99),
+            ));
+        }
+        sim.enable_trace(10_000);
+        sim.add_process(P0, || Echo::boxed(30));
+        sim.add_process(P1, || Echo::boxed(30));
+        sim.inject_at(SimTime(1), P0, P1, 0);
+        sim.run_until(SimTime(500));
+        sim.trace().iter().map(|e| e.render()).collect()
+    };
+    assert_eq!(run(false), run(true));
+}

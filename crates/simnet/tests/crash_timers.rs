@@ -1,0 +1,120 @@
+//! Regression suite: timers armed before a crash are cancelled by the
+//! crash and never fire across a recover.
+//!
+//! `Sim::crash` clears the per-process arm table and bumps the crash
+//! epoch; a stale pre-crash timer event must fail arm validation, and the
+//! simulator asserts the epoch matches whenever an arm *does* validate.
+//! These tests pin both: no stale fire reaches the recovered agent, and a
+//! legitimately re-armed token still works.
+
+use mcpaxos_actor::{Actor, Context, ProcessId, SimDuration, SimTime, TimerToken};
+use mcpaxos_simnet::{NetConfig, Sim};
+
+const P0: ProcessId = ProcessId(0);
+const P1: ProcessId = ProcessId(1);
+const TOK: TimerToken = TimerToken(7);
+
+/// Arms `TOK` from `on_start` only. `on_recover` deliberately does *not*
+/// re-arm, so any post-recover fire can only be the stale pre-crash arm.
+/// A message of `1` re-arms the token explicitly.
+struct ArmOnStart {
+    fired: Vec<u64>,
+}
+
+impl Actor for ArmOnStart {
+    type Msg = u32;
+    fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+        ctx.set_timer(SimDuration(100), TOK);
+    }
+    fn on_recover(&mut self, _ctx: &mut dyn Context<u32>) {
+        // No re-arm: isolates the stale pre-crash timer.
+    }
+    fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32>) {
+        if msg == 1 {
+            ctx.set_timer(SimDuration(50), TOK);
+        }
+    }
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<u32>) {
+        assert_eq!(token, TOK);
+        self.fired.push(ctx.now().ticks());
+    }
+}
+
+#[test]
+fn pre_crash_timer_never_fires_after_recover() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Box::new(ArmOnStart { fired: vec![] }));
+    // Armed at t=0 for t=100; the crash at t=10 must cancel it.
+    sim.crash_at(SimTime(10), P0);
+    sim.recover_at(SimTime(20), P0);
+    sim.run_until(SimTime(300));
+    let a: &ArmOnStart = sim.actor(P0).unwrap();
+    assert!(
+        a.fired.is_empty(),
+        "stale pre-crash timer fired at {:?}",
+        a.fired
+    );
+    assert_eq!(sim.stats(P0).timers_fired, 0);
+}
+
+#[test]
+fn rearmed_token_fires_once_after_recover() {
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Box::new(ArmOnStart { fired: vec![] }));
+    sim.crash_at(SimTime(10), P0);
+    sim.recover_at(SimTime(20), P0);
+    // Explicit re-arm after recovery: delivered at t=30, fires at t=80.
+    sim.inject_at(SimTime(30), P0, P1, 1);
+    sim.run_until(SimTime(300));
+    let a: &ArmOnStart = sim.actor(P0).unwrap();
+    assert_eq!(
+        a.fired,
+        vec![80],
+        "the post-recover arm must fire exactly once; the pre-crash arm \
+         (due t=100) must not"
+    );
+    assert_eq!(sim.stats(P0).timers_fired, 1);
+}
+
+/// A periodic ticker: re-arms itself on every start/recover and fire.
+struct Ticker {
+    ticks: Vec<u64>,
+}
+
+impl Actor for Ticker {
+    type Msg = u32;
+    fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+        ctx.set_timer(SimDuration(10), TOK);
+    }
+    fn on_message(&mut self, _f: ProcessId, _m: u32, _c: &mut dyn Context<u32>) {}
+    fn on_timer(&mut self, _t: TimerToken, ctx: &mut dyn Context<u32>) {
+        self.ticks.push(ctx.now().ticks());
+        ctx.set_timer(SimDuration(10), TOK);
+    }
+}
+
+#[test]
+fn periodic_timers_survive_repeated_crash_recover_cycles() {
+    // Several crash/recover cycles with a self-re-arming timer: the epoch
+    // assertion must never trip, and ticks only accrue while up.
+    let mut sim = Sim::new(1, NetConfig::lockstep());
+    sim.add_process(P0, || Box::new(Ticker { ticks: vec![] }));
+    for k in 0..3u64 {
+        sim.crash_at(SimTime(35 + 100 * k), P0);
+        sim.recover_at(SimTime(65 + 100 * k), P0);
+    }
+    sim.run_until(SimTime(330));
+    // Up intervals: [0,35), [65,135), [165,235), [265,330]. A fresh arm
+    // happens at each recover; no tick may land inside a down window.
+    let a: &Ticker = sim.actor(P0).unwrap();
+    assert!(!a.ticks.is_empty());
+    for down_start in [35u64, 135, 235] {
+        assert!(
+            !a.ticks
+                .iter()
+                .any(|&t| (down_start..down_start + 30).contains(&t)),
+            "tick inside down window starting at {down_start}: {:?}",
+            a.ticks
+        );
+    }
+}
