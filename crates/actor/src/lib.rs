@@ -32,6 +32,7 @@
 //! ```
 
 mod actor;
+pub mod frame;
 mod id;
 mod metrics;
 mod storage;
@@ -41,5 +42,5 @@ pub mod wire;
 pub use actor::{Actor, AnyActor, Context, TimerToken};
 pub use id::{ProcessId, RoleMap};
 pub use metrics::{Metric, MetricSink, Metrics};
-pub use storage::{crc32, MemStore, StableStore, WalStore};
-pub use time::{SimDuration, SimTime};
+pub use storage::{crc32, FileWal, MemStore, StableStore, WalStore};
+pub use time::{Backoff, SimDuration, SimTime};

@@ -485,6 +485,181 @@ impl fmt::Debug for WalStore {
     }
 }
 
+// ----- FileWal --------------------------------------------------------------
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A [`WalStore`] whose log lives in a real file, for processes whose
+/// crashes are OS-process kills rather than simulated events (the TCP
+/// multi-process example). The in-memory [`WalStore`] keeps the read
+/// index and record format; `FileWal` mirrors every flushed byte to the
+/// file and `sync_data`s it, so what [`StableStore::flushed_read`] would
+/// return is exactly what a re-[`FileWal::open`] after `SIGKILL`
+/// recovers.
+///
+/// Opening replays the file through [`WalStore::from_log`] — a torn or
+/// corrupt tail is truncated (both in memory and on disk) rather than
+/// failing recovery, matching the in-memory store's crash semantics.
+/// [`StableStore::compact`] rewrites atomically via a temp file +
+/// rename, so a crash mid-compaction leaves the old log intact.
+///
+/// I/O errors after open are fatal by design: a store that cannot make
+/// bytes durable must crash the process (the crash-recovery model's
+/// answer), not silently acknowledge writes, so the mirroring paths
+/// panic on I/O failure.
+pub struct FileWal {
+    inner: WalStore,
+    file: File,
+    path: PathBuf,
+    /// Bytes of `inner`'s flushed log already written + synced to `file`.
+    durable_len: usize,
+    /// Mirror of [`WalStore::synchronous`]: flush (and sync) every write.
+    sync_every_write: bool,
+}
+
+impl FileWal {
+    /// Opens (creating if absent) a group-commit store backed by `path`:
+    /// writes buffer in memory until [`StableStore::flush`], which
+    /// appends the batch to the file and `sync_data`s it as one disk
+    /// write.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileWal> {
+        Self::open_inner(path.as_ref(), false)
+    }
+
+    /// Opens a store that flushes + syncs on every `write` (the per-vote
+    /// baseline; use for acceptors running without group commit).
+    pub fn open_synchronous(path: impl AsRef<Path>) -> io::Result<FileWal> {
+        Self::open_inner(path.as_ref(), true)
+    }
+
+    fn open_inner(path: &Path, sync_every_write: bool) -> io::Result<FileWal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let had = bytes.len();
+        let inner = WalStore::from_log(bytes);
+        if inner.log_len() < had {
+            // Torn/corrupt tail: truncate the file to the last good
+            // record so the next replay doesn't re-scan garbage.
+            file.set_len(inner.log_len() as u64)?;
+            file.sync_data()?;
+        }
+        let durable_len = inner.log_len();
+        Ok(FileWal {
+            inner,
+            file,
+            path: path.to_path_buf(),
+            durable_len,
+            sync_every_write,
+        })
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Size of the durable (flushed) log in bytes.
+    pub fn log_len(&self) -> usize {
+        self.inner.log_len()
+    }
+
+    /// Appends the log bytes flushed since the last mirror and syncs.
+    fn mirror_append(&mut self) {
+        let log = self.inner.log_bytes();
+        debug_assert!(log.len() >= self.durable_len, "flush never shrinks the log");
+        if log.len() == self.durable_len {
+            return;
+        }
+        let tail = log[self.durable_len..].to_vec();
+        let at = self.durable_len as u64;
+        self.file
+            .seek(SeekFrom::Start(at))
+            .and_then(|_| self.file.write_all(&tail))
+            .and_then(|_| self.file.sync_data())
+            .expect("FileWal: cannot make log durable");
+        self.durable_len = log.len();
+    }
+
+    /// Rewrites the whole file from the (compacted) log: temp file +
+    /// rename, then reopen the handle on the new inode.
+    fn mirror_rewrite(&mut self) {
+        let mut tmp_name = self.path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = self.path.with_file_name(tmp_name);
+        let rewrite = (|| -> io::Result<File> {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(self.inner.log_bytes())?;
+            f.sync_data()?;
+            std::fs::rename(&tmp, &self.path)?;
+            Ok(f)
+        })();
+        self.file = rewrite.expect("FileWal: cannot rewrite compacted log");
+        self.durable_len = self.inner.log_len();
+    }
+}
+
+impl StableStore for FileWal {
+    fn write(&mut self, key: &str, value: Vec<u8>) {
+        self.inner.write(key, value);
+        if self.sync_every_write {
+            self.flush();
+        }
+    }
+
+    fn read(&self, key: &str) -> Option<&[u8]> {
+        self.inner.read(key)
+    }
+
+    fn write_count(&self) -> u64 {
+        self.inner.write_count()
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+        self.mirror_append();
+    }
+
+    fn lose_unflushed(&mut self) {
+        self.inner.lose_unflushed();
+    }
+
+    fn compact(&mut self) {
+        self.inner.compact();
+        self.mirror_rewrite();
+    }
+
+    fn corrupt_records(&self) -> u64 {
+        self.inner.corrupt_records()
+    }
+
+    fn flushed_read(&self, key: &str) -> Option<&[u8]> {
+        self.inner.flushed_read(key)
+    }
+}
+
+impl fmt::Debug for FileWal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileWal")
+            .field("path", &self.path)
+            .field("durable_len", &self.durable_len)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,5 +712,108 @@ mod tests {
         // The classic check value for CRC-32/ISO-HDLC.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// A temp file path unique to this test; removed on drop.
+    struct TempWal(PathBuf);
+    impl TempWal {
+        fn new(name: &str) -> Self {
+            TempWal(std::env::temp_dir().join(format!(
+                "mcpaxos_filewal_{}_{}",
+                std::process::id(),
+                name
+            )))
+        }
+    }
+    impl Drop for TempWal {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn filewal_survives_reopen() {
+        let t = TempWal::new("reopen");
+        {
+            let mut s = FileWal::open(&t.0).unwrap();
+            s.write("vote", vec![1, 2, 3]);
+            s.write("rnd", vec![9]);
+            s.flush();
+            s.write("vote", vec![4, 4]); // buffered, never flushed
+        } // dropped without flush: the OS-process-crash analogue
+        let s = FileWal::open(&t.0).unwrap();
+        assert_eq!(s.read("vote"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.read("rnd"), Some(&[9u8][..]));
+        assert_eq!(s.corrupt_records(), 0);
+    }
+
+    #[test]
+    fn filewal_synchronous_is_durable_per_write() {
+        let t = TempWal::new("sync");
+        {
+            let mut s = FileWal::open_synchronous(&t.0).unwrap();
+            s.write("vote", vec![7]);
+            assert_eq!(s.write_count(), 1);
+            // no explicit flush
+        }
+        let s = FileWal::open(&t.0).unwrap();
+        assert_eq!(s.read("vote"), Some(&[7u8][..]));
+    }
+
+    #[test]
+    fn filewal_truncates_torn_tail_on_open() {
+        let t = TempWal::new("torn");
+        let good_len;
+        {
+            let mut s = FileWal::open(&t.0).unwrap();
+            s.write("vote", vec![1; 32]);
+            s.flush();
+            good_len = s.log_len();
+            s.write("vote", vec![2; 32]);
+            s.flush();
+        }
+        // Tear the last record mid-write.
+        let f = OpenOptions::new().write(true).open(&t.0).unwrap();
+        f.set_len(good_len as u64 + 3).unwrap();
+        drop(f);
+
+        let s = FileWal::open(&t.0).unwrap();
+        assert_eq!(
+            s.read("vote"),
+            Some(&[1u8; 32][..]),
+            "last good record wins"
+        );
+        assert_eq!(s.corrupt_records(), 1);
+        assert_eq!(
+            std::fs::metadata(&t.0).unwrap().len(),
+            good_len as u64,
+            "torn bytes are truncated from the file too"
+        );
+    }
+
+    #[test]
+    fn filewal_compact_rewrites_file() {
+        let t = TempWal::new("compact");
+        let mut s = FileWal::open(&t.0).unwrap();
+        for i in 0..50u8 {
+            s.write("vote", vec![i; 64]);
+        }
+        s.flush();
+        let fat = std::fs::metadata(&t.0).unwrap().len();
+        s.compact();
+        let slim = std::fs::metadata(&t.0).unwrap().len();
+        assert!(
+            slim < fat,
+            "compaction must shrink the file ({slim} < {fat})"
+        );
+        assert_eq!(s.read("vote"), Some(&[49u8; 64][..]));
+        // And the compacted file replays cleanly after another write.
+        s.write("rnd", vec![1]);
+        s.flush();
+        drop(s);
+        let s = FileWal::open(&t.0).unwrap();
+        assert_eq!(s.read("vote"), Some(&[49u8; 64][..]));
+        assert_eq!(s.read("rnd"), Some(&[1u8][..]));
+        assert_eq!(s.corrupt_records(), 0);
     }
 }

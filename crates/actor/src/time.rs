@@ -98,6 +98,62 @@ impl From<u64> for SimDuration {
     }
 }
 
+/// Jittered exponential backoff: one retry policy shared by everything
+/// that re-attempts on a timer — proposer retransmission (whose constants
+/// previously lived in the proposer) and the TCP transport's reconnect
+/// supervisor (which measures ticks as milliseconds).
+///
+/// The delay for retry `attempt` (0-based) is
+/// `min(base << min(attempt, 16), max(cap, base))`, plus a uniform draw
+/// from `[0, jitter]` when jitter is configured. A zero `cap` disables
+/// the exponential growth (fixed `base` period); a zero `jitter` draws
+/// **no randomness at all**, keeping seeded simulator runs byte-identical
+/// to deployments that never configured jitter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, and the fixed period when `cap` is zero.
+    pub base: SimDuration,
+    /// Ceiling for the exponential growth (0 = no growth).
+    pub cap: SimDuration,
+    /// Upper bound of the uniform jitter added to every delay (0 = none).
+    pub jitter: SimDuration,
+}
+
+impl Backoff {
+    /// A policy backing off exponentially from `base` to `cap`, each
+    /// delay jittered by a uniform draw from `[0, jitter]`.
+    pub fn new(base: SimDuration, cap: SimDuration, jitter: SimDuration) -> Self {
+        Backoff { base, cap, jitter }
+    }
+
+    /// A fixed-period policy: every delay is exactly `base`.
+    pub fn fixed(base: SimDuration) -> Self {
+        Backoff {
+            base,
+            cap: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based). `rand` supplies the
+    /// jitter draw and is invoked only when jitter is configured, so
+    /// jitter-free policies consume no randomness from the caller's RNG.
+    pub fn delay(&self, attempt: u32, rand: impl FnOnce() -> u64) -> SimDuration {
+        let mut d = self.base.ticks();
+        let cap = self.cap.ticks();
+        if cap > 0 {
+            d = d
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(cap.max(self.base.ticks()));
+        }
+        let j = self.jitter.ticks();
+        if j > 0 {
+            d += rand() % (j + 1);
+        }
+        SimDuration(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +174,32 @@ mod tests {
     fn ordering() {
         assert!(SimTime(1) < SimTime(2));
         assert!(SimDuration(1) < SimDuration(2));
+    }
+
+    #[test]
+    fn backoff_ladder_caps_and_jitters() {
+        let b = Backoff::new(SimDuration(100), SimDuration(800), SimDuration::ZERO);
+        let no_rand = || -> u64 { panic!("jitter-free policy must not draw randomness") };
+        assert_eq!(b.delay(0, no_rand), SimDuration(100));
+        assert_eq!(b.delay(1, no_rand), SimDuration(200));
+        assert_eq!(b.delay(3, no_rand), SimDuration(800));
+        assert_eq!(
+            b.delay(30, no_rand),
+            SimDuration(800),
+            "capped + shift-safe"
+        );
+
+        let fixed = Backoff::fixed(SimDuration(70));
+        assert_eq!(fixed.delay(5, no_rand), SimDuration(70));
+
+        let j = Backoff::new(SimDuration(100), SimDuration(800), SimDuration(30));
+        assert_eq!(j.delay(0, || 61), SimDuration(100 + 61 % 31));
+        assert_eq!(j.delay(1, || 0), SimDuration(200));
+    }
+
+    #[test]
+    fn backoff_cap_below_base_floors_at_base() {
+        let b = Backoff::new(SimDuration(100), SimDuration(10), SimDuration::ZERO);
+        assert_eq!(b.delay(4, || 0), SimDuration(100));
     }
 }

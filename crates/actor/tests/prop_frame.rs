@@ -1,0 +1,180 @@
+//! Property-based coverage for the frame codec ([`mcpaxos_actor::frame`]).
+//!
+//! Three families of properties:
+//!
+//! 1. **Round-trip laws**: any sequence of payloads framed back-to-back
+//!    decodes to exactly that sequence under *any* chunking of the byte
+//!    stream, with nothing left pending.
+//! 2. **Torn tails**: every strict prefix of a valid stream yields the
+//!    completed frames and then `Ok(None)` — truncation is incomplete,
+//!    never an error and never a wrong frame.
+//! 3. **Adversarial bytes**: flipped bits and random byte soup never
+//!    panic and never yield a frame that fails CRC. The check is a
+//!    shadow verification against the raw stream: for every payload the
+//!    decoder yields, the bytes it consumed must really be
+//!    `[len][payload][crc32(payload)]` at the decoder's running offset.
+//!    (A flipped *length* byte legitimately re-frames the stream, so
+//!    payload-equality with the original sequence is only asserted when
+//!    the flip lands outside a length prefix.)
+
+use mcpaxos_actor::crc32;
+use mcpaxos_actor::frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME_PAYLOAD};
+use proptest::prelude::*;
+
+/// Encodes `payloads` as one contiguous stream.
+fn stream_of(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for p in payloads {
+        encode_frame(p, &mut wire).unwrap();
+    }
+    wire
+}
+
+/// Feeds `stream` to a decoder in the given chunk sizes (cycled),
+/// draining after every push. Stops at the first error. Returns the
+/// yielded payloads and the error, if any.
+fn drain_chunked(stream: &[u8], chunks: &[usize]) -> (Vec<Vec<u8>>, Option<FrameError>) {
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    let mut fed = 0;
+    let mut ci = 0;
+    while fed < stream.len() {
+        let n = chunks[ci % chunks.len()].min(stream.len() - fed);
+        ci += 1;
+        dec.push(&stream[fed..fed + n]);
+        fed += n;
+        loop {
+            match dec.next_frame() {
+                Ok(Some(p)) => got.push(p),
+                Ok(None) => break,
+                Err(e) => return (got, Some(e)),
+            }
+        }
+    }
+    (got, None)
+}
+
+/// Verifies one yielded payload against the raw stream at `offset`:
+/// the consumed bytes must be `[len][payload][crc32(payload)]`. Returns
+/// the offset after the frame.
+fn verify_yield(stream: &[u8], offset: usize, payload: &[u8]) -> Result<usize, TestCaseError> {
+    let hdr_end = offset + 4;
+    prop_assert!(hdr_end <= stream.len(), "yield past end of stream");
+    let len = u32::from_le_bytes(stream[offset..hdr_end].try_into().unwrap()) as usize;
+    prop_assert_eq!(len, payload.len(), "yielded length disagrees with stream");
+    let total = offset + 8 + len;
+    prop_assert!(total <= stream.len(), "yielded frame overruns stream");
+    prop_assert_eq!(
+        &stream[hdr_end..hdr_end + len],
+        payload,
+        "yielded payload disagrees with stream bytes"
+    );
+    let stored = u32::from_le_bytes(stream[hdr_end + len..total].try_into().unwrap());
+    prop_assert_eq!(stored, crc32(payload), "yielded frame fails CRC");
+    Ok(total)
+}
+
+fn payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..6)
+}
+
+fn chunk_sizes() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..33, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Law 1: round-trip under arbitrary chunking.
+    #[test]
+    fn roundtrip_under_any_chunking(ps in payloads(), chunks in chunk_sizes()) {
+        let wire = stream_of(&ps);
+        let (got, err) = drain_chunked(&wire, &chunks);
+        prop_assert!(err.is_none(), "clean stream errored: {err:?}");
+        prop_assert_eq!(got, ps);
+    }
+
+    /// Law 2: a strict prefix yields completed frames then `Ok(None)` —
+    /// never an error, never a partial or wrong frame.
+    #[test]
+    fn torn_tail_is_silent(ps in payloads(), chunks in chunk_sizes(), cut_seed in any::<u64>()) {
+        let wire = stream_of(&ps);
+        let cut = (cut_seed as usize) % wire.len();
+        let (got, err) = drain_chunked(&wire[..cut], &chunks);
+        prop_assert!(err.is_none(), "torn tail errored: {err:?}");
+        // The frames that did complete are exactly the leading payloads.
+        prop_assert_eq!(got.as_slice(), &ps[..got.len()]);
+        // And a frame only completes when all of its bytes arrived.
+        let consumed: usize = got.iter().map(|p| p.len() + 8).sum();
+        prop_assert!(consumed <= cut);
+    }
+
+    /// Law 3a: one flipped bit anywhere in the stream — no panic, every
+    /// yield shadow-verifies against the corrupted stream, and when the
+    /// flip is outside a length prefix the decode is an exact prefix of
+    /// the original sequence followed by a hard error.
+    #[test]
+    fn flipped_bit_never_delivers_garbage(
+        ps in payloads(),
+        chunks in chunk_sizes(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let wire = stream_of(&ps);
+        let pos = (pos_seed as usize) % wire.len();
+        let mut bad = wire.clone();
+        bad[pos] ^= 1 << bit;
+
+        let (got, err) = drain_chunked(&bad, &chunks);
+        let mut offset = 0;
+        for p in &got {
+            offset = verify_yield(&bad, offset, p)?;
+        }
+
+        // Locate the flipped frame and whether the flip hit its length
+        // prefix (which re-frames the stream) or its payload/CRC bytes
+        // (which must surface as a hard error, frames before it intact).
+        let mut start = 0;
+        for (k, orig) in ps.iter().enumerate() {
+            let total = orig.len() + 8;
+            if pos < start + total {
+                if pos >= start + 4 {
+                    // Payload or CRC flip: exact-prefix decode, then error.
+                    prop_assert_eq!(got.as_slice(), &ps[..k]);
+                    prop_assert!(err.is_some(), "payload/CRC flip must error");
+                }
+                break;
+            }
+            start += total;
+        }
+    }
+
+    /// Law 3b: a length prefix above the configured maximum is rejected
+    /// before any allocation, regardless of what follows it.
+    #[test]
+    fn oversized_length_prefix_rejected(
+        excess in 1u32..=1024,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = (MAX_FRAME_PAYLOAD + excess).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        dec.push(&bytes);
+        let err = dec.next_frame().unwrap_err();
+        prop_assert_eq!(err.what, "length prefix exceeds max frame size");
+    }
+
+    /// Law 3c: pure byte soup — never panics, and anything it happens to
+    /// yield shadow-verifies (i.e. was a genuinely CRC-valid frame).
+    #[test]
+    fn random_soup_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        chunks in chunk_sizes(),
+    ) {
+        let (got, _err) = drain_chunked(&bytes, &chunks);
+        let mut offset = 0;
+        for p in &got {
+            offset = verify_yield(&bytes, offset, p)?;
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! TCP transport smoke + wire-byte accounting parity (CI-facing).
+//!
+//! Runs a full 1P/2C/3A/2L deployment with **every process on its own
+//! [`TcpNode`]** over loopback, so each protocol message is framed onto
+//! a real socket, with the live byte meter installed on every node. The
+//! meter records `wire_bytes`/`wire_msgs` at hand-off to the transport
+//! (the same accounting the simulator's E10 wire tables use); the
+//! transport independently records `tcp_frames`/`tcp_frame_bytes` at
+//! socket-write time. For every agent the two ledgers must agree
+//! exactly:
+//!
+//! * `tcp_frames == wire_msgs` — every metered send became exactly one
+//!   frame (no drops, no duplication, nothing unaccounted), and
+//! * `tcp_frame_bytes == wire_bytes + (DATA_HEADER_BYTES +
+//!   FRAME_OVERHEAD) * wire_msgs` — the framed size of a message is its
+//!   wire encoding plus a fixed 13-byte envelope (packet tag + sender id
+//!   + length prefix + CRC), as computed by [`framed_size_of`].
+//!
+//! Emits `BENCH_tcp.json` (one record per agent plus a summary). With
+//! `--check`, exits non-zero unless the parity holds for every agent and
+//! both learners learned every command.
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_tcp [--check] [--out PATH]`
+
+use mcpaxos_actor::frame::FRAME_OVERHEAD;
+use mcpaxos_actor::wire::{self, Wire, WireError};
+use mcpaxos_actor::ProcessId;
+use mcpaxos_core::{
+    Acceptor, Coordinator, DeployConfig, Learner, Msg, Policy, Proposer, WireConfig,
+};
+use mcpaxos_cstruct::{CStruct, CommandHistory, Conflict, ConflictKeys};
+use mcpaxos_runtime::{framed_size_of, PeerTable, TcpConfig, TcpNode, DATA_HEADER_BYTES};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Keyed command: ~10% of pairs conflict (same key of 10).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct K(u16, u32);
+
+impl Conflict for K {
+    fn conflicts(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+    fn conflict_keys(&self) -> ConflictKeys {
+        ConflictKeys::one(u64::from(self.0))
+    }
+}
+
+impl Wire for K {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(i: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(K(u16::decode(i)?, u32::decode(i)?))
+    }
+}
+
+type H = CommandHistory<K>;
+type M = Msg<H>;
+
+const N_CMDS: u32 = 60;
+/// Fixed per-message envelope: packet tag + sender id + length prefix + CRC.
+const ENVELOPE: u64 = DATA_HEADER_BYTES + FRAME_OVERHEAD;
+
+fn cmd(i: u32) -> K {
+    K((i % 10) as u16, i)
+}
+
+struct AgentRow {
+    pid: u32,
+    role: &'static str,
+    wire_msgs: i64,
+    wire_bytes: i64,
+    tcp_frames: i64,
+    tcp_frame_bytes: i64,
+}
+
+impl AgentRow {
+    fn parity_holds(&self) -> bool {
+        self.tcp_frames == self.wire_msgs
+            && self.tcp_frame_bytes == self.wire_bytes + ENVELOPE as i64 * self.wire_msgs
+    }
+}
+
+fn total(nodes: &[TcpNode<M>], name: &str) -> i64 {
+    nodes.iter().map(|n| n.metrics().total(name)).sum()
+}
+
+fn of(nodes: &[TcpNode<M>], p: ProcessId, name: &str) -> i64 {
+    nodes.iter().map(|n| n.metrics().of(p, name)).sum()
+}
+
+fn settle(nodes: &[TcpNode<M>], cfg: &DeployConfig, want: i64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut last_snap = (-1i64, -1i64);
+    let mut stable_since = Instant::now();
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "cluster failed to settle at {want} learned commands"
+        );
+        let reached = cfg
+            .roles
+            .learners()
+            .iter()
+            .all(|&l| of(nodes, l, "learned") >= want);
+        let snap = (total(nodes, "learned"), total(nodes, "resends"));
+        if snap != last_snap {
+            last_snap = snap;
+            stable_since = Instant::now();
+        }
+        if reached && stable_since.elapsed() >= Duration::from_millis(800) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tcp.json".to_string());
+
+    // `framed_size_of` must be the meter accounting plus the fixed
+    // envelope — spot-check it against a real message before the run.
+    let sample: M = Msg::Propose {
+        cmd: cmd(7),
+        acc_quorum: None,
+    };
+    assert_eq!(
+        framed_size_of(ProcessId(1), &sample),
+        wire::to_bytes(&sample).len() as u64 + ENVELOPE,
+        "framed_size_of drifted from wire encoding + envelope"
+    );
+
+    let cfg = Arc::new(
+        DeployConfig::simple(1, 2, 3, 2, Policy::MultiCoordinated).with_wire(WireConfig {
+            delta_ship: true,
+            ..WireConfig::default()
+        }),
+    );
+    cfg.validate().expect("config");
+
+    let peers = PeerTable::shared();
+    let meter: mcpaxos_runtime::LiveByteMeter<M> =
+        Arc::new(|m| (m.tag(), wire::to_bytes(m).len() as u64));
+
+    // One node per process: every agent send is remote, so the byte
+    // meter and the frame ledger see exactly the same traffic.
+    let mut nodes: Vec<TcpNode<M>> = Vec::new();
+    for _ in cfg.roles.all() {
+        let mut n = TcpNode::bind(peers.clone(), TcpConfig::default()).expect("bind node");
+        n.set_byte_meter(meter.clone());
+        nodes.push(n);
+    }
+    let proposer = cfg.roles.proposers()[0];
+    {
+        let mut it = nodes.iter_mut();
+        it.next()
+            .unwrap()
+            .spawn(proposer, Box::new(Proposer::<H>::new(cfg.clone())));
+        for &c in cfg.roles.coordinators() {
+            it.next()
+                .unwrap()
+                .spawn(c, Box::new(Coordinator::<H>::new(cfg.clone(), c)));
+        }
+        for &a in cfg.roles.acceptors() {
+            it.next()
+                .unwrap()
+                .spawn(a, Box::new(Acceptor::<H>::new(cfg.clone())));
+        }
+        for &l in cfg.roles.learners() {
+            it.next()
+                .unwrap()
+                .spawn(l, Box::new(Learner::<H>::new(cfg.clone())));
+        }
+    }
+
+    let client = ProcessId(9_999);
+    for i in 0..N_CMDS {
+        nodes[0].send(
+            proposer,
+            client,
+            Msg::Propose {
+                cmd: cmd(i),
+                acc_quorum: None,
+            },
+        );
+    }
+    settle(&nodes, &cfg, i64::from(N_CMDS));
+
+    // Snapshot the two ledgers while the cluster is quiescent (settle's
+    // stability window guarantees the outbound queues have drained).
+    let role_of = |p: ProcessId| -> &'static str {
+        if cfg.roles.is_proposer(p) {
+            "proposer"
+        } else if cfg.roles.is_coordinator(p) {
+            "coordinator"
+        } else if cfg.roles.is_acceptor(p) {
+            "acceptor"
+        } else {
+            "learner"
+        }
+    };
+    let rows: Vec<AgentRow> = cfg
+        .roles
+        .all()
+        .into_iter()
+        .map(|p| AgentRow {
+            pid: p.raw(),
+            role: role_of(p),
+            wire_msgs: of(&nodes, p, "wire_msgs"),
+            wire_bytes: of(&nodes, p, "wire_bytes"),
+            tcp_frames: of(&nodes, p, "tcp_frames"),
+            tcp_frame_bytes: of(&nodes, p, "tcp_frame_bytes"),
+        })
+        .collect();
+    let queue_drops = total(&nodes, "tcp_queue_drops");
+    let send_failures = total(&nodes, "send_failures");
+    let frame_errors = total(&nodes, "tcp_frame_errors");
+
+    // Authoritative learner check.
+    let expected: HashSet<K> = (0..N_CMDS).map(cmd).collect();
+    let mut learned_ok = true;
+    for node in nodes {
+        for (pid, actor) in node.stop() {
+            if let Some(learner) = actor.as_any().downcast_ref::<Learner<H>>() {
+                let got: HashSet<K> = learner.learned().commands().into_iter().collect();
+                if learner.learned().total_len() != u64::from(N_CMDS) || got != expected {
+                    eprintln!(
+                        "learner {pid} diverged: {} learned (want {N_CMDS})",
+                        learner.learned().total_len()
+                    );
+                    learned_ok = false;
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"agents\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"pid\":{},\"role\":\"{}\",\"wire_msgs\":{},\"wire_bytes\":{},\
+             \"tcp_frames\":{},\"tcp_frame_bytes\":{},\"parity\":{}}}{}",
+            r.pid,
+            r.role,
+            r.wire_msgs,
+            r.wire_bytes,
+            r.tcp_frames,
+            r.tcp_frame_bytes,
+            r.parity_holds(),
+            sep,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"commands\": {N_CMDS},\n  \"envelope_bytes_per_msg\": {ENVELOPE},\n  \
+         \"queue_drops\": {queue_drops},\n  \"send_failures\": {send_failures},\n  \
+         \"frame_errors\": {frame_errors},\n  \"learned_ok\": {learned_ok}\n}}"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_tcp.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    println!(
+        "{:<6} {:<12} {:>10} {:>12} {:>10} {:>14}  parity",
+        "pid", "role", "wire_msgs", "wire_bytes", "frames", "frame_bytes"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:<12} {:>10} {:>12} {:>10} {:>14}  {}",
+            r.pid,
+            r.role,
+            r.wire_msgs,
+            r.wire_bytes,
+            r.tcp_frames,
+            r.tcp_frame_bytes,
+            if r.parity_holds() { "ok" } else { "MISMATCH" },
+        );
+    }
+
+    if check {
+        let mut failed = Vec::new();
+        for r in &rows {
+            if !r.parity_holds() {
+                failed.push(format!(
+                    "pid {} ({}): frames {} vs msgs {}, frame_bytes {} vs wire_bytes {} + {}*msgs",
+                    r.pid,
+                    r.role,
+                    r.tcp_frames,
+                    r.wire_msgs,
+                    r.tcp_frame_bytes,
+                    r.wire_bytes,
+                    ENVELOPE,
+                ));
+            }
+        }
+        if queue_drops != 0 || send_failures != 0 || frame_errors != 0 {
+            failed.push(format!(
+                "faultless run was lossy: queue_drops {queue_drops}, \
+                 send_failures {send_failures}, frame_errors {frame_errors}"
+            ));
+        }
+        if !learned_ok {
+            failed.push("a learner missed commands".to_string());
+        }
+        if failed.is_empty() {
+            println!(
+                "CHECK PASSED (wire/frame ledgers agree for all {} agents)",
+                rows.len()
+            );
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,7 +15,7 @@
 use crate::agents::{metrics, TOK_RESEND};
 use crate::config::DeployConfig;
 use crate::msg::Msg;
-use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimDuration, TimerToken};
+use mcpaxos_actor::{Actor, Backoff, Context, Metric, ProcessId, TimerToken};
 use mcpaxos_cstruct::CStruct;
 use std::sync::Arc;
 
@@ -101,21 +101,18 @@ impl<C: CStruct> Proposer<C> {
         if every.ticks() == 0 {
             return;
         }
-        let mut delay = every.ticks();
-        let cap = self.cfg.timing.proposer_backoff_max.ticks();
-        if cap > 0 {
-            delay = delay
-                .saturating_mul(1u64 << self.attempts.min(16))
-                .min(cap.max(every.ticks()));
-        }
-        let jitter = self.cfg.timing.proposer_jitter.ticks();
-        if jitter > 0 {
-            // Jitter decorrelates proposers retransmitting into the same
-            // recovering cluster. Drawn only when configured, so default
-            // deployments consume no randomness here.
-            delay += ctx.random() % (jitter + 1);
-        }
-        ctx.set_timer(SimDuration(delay), TOK_RESEND);
+        // The same jittered-exponential policy the TCP transport uses
+        // for reconnect supervision. Jitter decorrelates proposers
+        // retransmitting into the same recovering cluster; the draw
+        // happens only when jitter is configured, so default deployments
+        // consume no randomness here.
+        let policy = Backoff::new(
+            every,
+            self.cfg.timing.proposer_backoff_max,
+            self.cfg.timing.proposer_jitter,
+        );
+        let delay = policy.delay(self.attempts, || ctx.random());
+        ctx.set_timer(delay, TOK_RESEND);
     }
 }
 

@@ -1,0 +1,310 @@
+//! The in-process channel backend: every process is a thread, every link
+//! is a crossbeam channel. Reliable and FIFO — *stronger* than the
+//! protocol's fair-lossy assumption — which makes it the default backend
+//! for experiments (no transport noise in the measurements) and the
+//! baseline the TCP backend's byte accounting is checked against.
+
+use crate::process::{
+    run_process, Event, LiveByteMeter, ProcessSpec, Router, SendActor, METRIC_SEND_FAILURES,
+};
+use crossbeam::channel::{unbounded, Sender};
+use mcpaxos_actor::{MemStore, Metric, MetricSink, Metrics, ProcessId, SimTime, StableStore};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Registry<M> = Arc<RwLock<HashMap<ProcessId, Sender<Event<M>>>>>;
+
+/// A live cluster of actor threads.
+pub struct Cluster<M> {
+    registry: Registry<M>,
+    metrics: Arc<Mutex<Metrics>>,
+    start: Instant,
+    handles: Vec<(ProcessId, JoinHandle<SendActor<M>>)>,
+    byte_meter: Option<LiveByteMeter<M>>,
+    router: Router<M>,
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        let registry: Registry<M> = Arc::new(RwLock::new(HashMap::new()));
+        let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let router = {
+            let registry = registry.clone();
+            let metrics = metrics.clone();
+            Arc::new(move |from: ProcessId, to: ProcessId, msg: M| {
+                // A missing mailbox (never spawned, or stopped) and a
+                // disconnected channel (crashed thread) are the same
+                // thing to the sender: the message is lost on a dead
+                // link, counted, never panicking — exactly what the TCP
+                // backend does when a peer is down.
+                let delivered = match registry.read().get(&to) {
+                    Some(tx) => tx.send(Event::Msg { from, msg }).is_ok(),
+                    None => false,
+                };
+                if !delivered {
+                    metrics
+                        .lock()
+                        .record(from, Metric::incr(METRIC_SEND_FAILURES));
+                }
+            }) as Router<M>
+        };
+        Cluster {
+            registry,
+            metrics,
+            start: Instant::now(),
+            handles: Vec::new(),
+            byte_meter: None,
+            router,
+        }
+    }
+
+    /// Installs a byte meter: every message a process sends from now on
+    /// is sized and recorded as the [`crate::METRIC_WIRE_BYTES`] /
+    /// [`crate::METRIC_WIRE_MSGS`] metrics of the sender. Install
+    /// *before* spawning the processes whose traffic should be measured.
+    pub fn set_byte_meter(&mut self, meter: LiveByteMeter<M>) {
+        self.byte_meter = Some(meter);
+    }
+
+    /// Spawns `actor` as process `pid` on its own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is already spawned.
+    pub fn spawn(&mut self, pid: ProcessId, actor: SendActor<M>) {
+        self.spawn_inner(pid, actor, Box::new(MemStore::new()), false);
+    }
+
+    /// Respawns a previously stopped process over `storage` — the
+    /// crash-recovery path: the fresh actor enters via
+    /// [`mcpaxos_actor::Actor::on_recover`] and sees exactly what the
+    /// storage preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is currently live.
+    pub fn spawn_recovered(
+        &mut self,
+        pid: ProcessId,
+        actor: SendActor<M>,
+        storage: Box<dyn StableStore + Send>,
+    ) {
+        self.spawn_inner(pid, actor, storage, true);
+    }
+
+    fn spawn_inner(
+        &mut self,
+        pid: ProcessId,
+        actor: SendActor<M>,
+        storage: Box<dyn StableStore + Send>,
+        recovered: bool,
+    ) {
+        let (tx, rx) = unbounded();
+        {
+            let mut reg = self.registry.write();
+            assert!(reg.insert(pid, tx).is_none(), "process {pid} spawned twice");
+        }
+        let spec = ProcessSpec {
+            pid,
+            actor,
+            rx,
+            router: self.router.clone(),
+            metrics: self.metrics.clone(),
+            start: self.start,
+            meter: self.byte_meter.clone(),
+            storage,
+            recovered,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("mcpaxos-{pid}"))
+            .spawn(move || run_process(spec))
+            .expect("spawn thread");
+        self.handles.push((pid, handle));
+    }
+
+    /// Sends `msg` to `to`, appearing to come from `from` (external
+    /// client injection). Sends to a dead or never-spawned process are
+    /// dropped and counted under [`crate::METRIC_SEND_FAILURES`].
+    pub fn send(&self, to: ProcessId, from: ProcessId, msg: M) {
+        (self.router)(from, to, msg);
+    }
+
+    /// Snapshot of the metrics recorded so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Elapsed logical time (ticks = milliseconds since cluster start).
+    pub fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_millis() as u64)
+    }
+
+    /// Stops just process `pid` and returns its final actor (`None` if it
+    /// was never spawned). Its mailbox disappears immediately: subsequent
+    /// sends to `pid` count as [`crate::METRIC_SEND_FAILURES`] until a
+    /// [`Cluster::spawn_recovered`] brings it back.
+    pub fn stop_one(&mut self, pid: ProcessId) -> Option<SendActor<M>> {
+        let tx = self.registry.write().remove(&pid)?;
+        let _ = tx.send(Event::Stop);
+        let at = self.handles.iter().position(|(p, _)| *p == pid)?;
+        let (_, handle) = self.handles.remove(at);
+        Some(handle.join().expect("actor thread panicked"))
+    }
+
+    /// Stops every process and returns the final actors, keyed by id,
+    /// for inspection (downcast via [`SendableActor::as_any`]).
+    ///
+    /// [`SendableActor::as_any`]: crate::SendableActor::as_any
+    pub fn stop(self) -> HashMap<ProcessId, SendActor<M>> {
+        {
+            let reg = self.registry.read();
+            for tx in reg.values() {
+                let _ = tx.send(Event::Stop);
+            }
+        }
+        let mut out = HashMap::new();
+        for (pid, handle) in self.handles {
+            let actor = handle.join().expect("actor thread panicked");
+            out.insert(pid, actor);
+        }
+        out
+    }
+}
+
+impl<M: Send + 'static> Default for Cluster<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::METRIC_SEND_FAILURES;
+    use mcpaxos_actor::{Actor, Context, SimDuration, TimerToken};
+    use std::time::Duration;
+
+    struct Counter {
+        seen: u32,
+    }
+    impl Actor for Counter {
+        type Msg = u32;
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32>) {
+            self.seen += 1;
+            ctx.metric(Metric::incr("seen"));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _t: TimerToken, _c: &mut dyn Context<u32>) {}
+    }
+
+    #[test]
+    fn ping_pong_live() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        cluster.spawn(ProcessId(0), Box::new(Counter { seen: 0 }));
+        cluster.spawn(ProcessId(1), Box::new(Counter { seen: 0 }));
+        cluster.send(ProcessId(0), ProcessId(1), 9);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.metrics().total("seen") < 10 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(cluster.metrics().total("seen"), 10);
+        let actors = cluster.stop();
+        let a0 = actors[&ProcessId(0)]
+            .as_any()
+            .downcast_ref::<Counter>()
+            .unwrap();
+        let a1 = actors[&ProcessId(1)]
+            .as_any()
+            .downcast_ref::<Counter>()
+            .unwrap();
+        assert_eq!(a0.seen + a1.seen, 10);
+    }
+
+    struct TimerBeat {
+        beats: u32,
+    }
+    impl Actor for TimerBeat {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+            ctx.set_timer(SimDuration(10), TimerToken(1));
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: u32, _c: &mut dyn Context<u32>) {}
+        fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<u32>) {
+            self.beats += 1;
+            ctx.metric(Metric::incr("beat"));
+            if self.beats < 5 {
+                ctx.set_timer(SimDuration(10), token);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_live() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        cluster.spawn(ProcessId(0), Box::new(TimerBeat { beats: 0 }));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.metrics().total("beat") < 5 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(cluster.metrics().total("beat"), 5);
+        cluster.stop();
+    }
+
+    #[test]
+    fn sends_to_dead_processes_are_counted_not_panicking() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        cluster.spawn(ProcessId(0), Box::new(Counter { seen: 0 }));
+
+        // Never-spawned destination.
+        cluster.send(ProcessId(7), ProcessId(99), 1);
+        assert_eq!(cluster.metrics().of(ProcessId(99), METRIC_SEND_FAILURES), 1);
+
+        // Stopped destination: its mailbox is gone.
+        let stopped = cluster.stop_one(ProcessId(0));
+        assert!(stopped.is_some());
+        cluster.send(ProcessId(0), ProcessId(99), 1);
+        assert_eq!(cluster.metrics().of(ProcessId(99), METRIC_SEND_FAILURES), 2);
+        cluster.stop();
+    }
+
+    struct Recovers;
+    impl Actor for Recovers {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut dyn Context<u32>) {
+            ctx.metric(Metric::incr("started"));
+            ctx.storage().write("mark", vec![42]);
+        }
+        fn on_recover(&mut self, ctx: &mut dyn Context<u32>) {
+            let seen = ctx.storage().read("mark").map(<[u8]>::to_vec);
+            if seen == Some(vec![42]) {
+                ctx.metric(Metric::incr("recovered_with_state"));
+            }
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: u32, _c: &mut dyn Context<u32>) {}
+        fn on_timer(&mut self, _t: TimerToken, _c: &mut dyn Context<u32>) {}
+    }
+
+    #[test]
+    fn spawn_recovered_enters_via_on_recover_with_carried_storage() {
+        let mut cluster: Cluster<u32> = Cluster::new();
+        // Seed storage the way a pre-crash incarnation would have.
+        let mut store = MemStore::new();
+        store.write("mark", vec![42]);
+
+        cluster.spawn_recovered(ProcessId(3), Box::new(Recovers), Box::new(store));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cluster.metrics().total("recovered_with_state") < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.total("recovered_with_state"), 1);
+        assert_eq!(m.total("started"), 0, "on_start must not run on recovery");
+        cluster.stop();
+    }
+}

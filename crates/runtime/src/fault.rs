@@ -1,0 +1,300 @@
+//! Deterministic wire-fault injection for the TCP backend.
+//!
+//! Sockets in CI are flaky in uninteresting ways and reliable in the
+//! interesting ones: a loopback connection essentially never corrupts,
+//! reorders or drops frames on its own. To test the transport's fault
+//! handling — CRC teardown, reconnect supervision, the protocol's
+//! resend/`NeedFull` recovery — a [`FaultyTransport`] sits between the
+//! frame encoder and the socket on each outbound link and misbehaves *on
+//! purpose*, driven by a seeded per-link PRNG so every CI run replays the
+//! identical fault sequence.
+//!
+//! Faults operate on whole encoded frames (the unit the wire actually
+//! carries):
+//!
+//! * **drop** — the frame is never written (fair-lossy link);
+//! * **duplicate** — the frame is written twice (at-least-once link);
+//! * **corrupt** — one byte of the payload/CRC region is flipped, so the
+//!   receiver's CRC check fails and it tears the connection down: this
+//!   is how "corrupt frames never reach an agent" is exercised;
+//! * **stall** — the frame is held back and released after
+//!   [`FaultConfig::stall_frames`] later frames (reordering, which
+//!   delta-shipping must survive via `NeedFull` resync);
+//! * **disconnect** — the sender closes the connection mid-stream and
+//!   lets the reconnect supervisor pick up the pieces.
+
+use crate::process::rand_like::SplitMix64;
+use mcpaxos_actor::ProcessId;
+use std::collections::VecDeque;
+
+/// Per-mille rates for each fault, plus the seed that makes the whole
+/// fault sequence reproducible. Rates are checked in the declaration
+/// order below against a single roll in `[0, 1000)`, so their sum must
+/// stay ≤ 1000 (the remainder is the faultless path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the per-link decision stream (mixed with the link id).
+    pub seed: u64,
+    /// Frames silently dropped, ‰.
+    pub drop_per_mille: u16,
+    /// Frames written twice, ‰.
+    pub dup_per_mille: u16,
+    /// Frames with one payload byte flipped (guaranteed CRC failure), ‰.
+    pub corrupt_per_mille: u16,
+    /// Frames held back and released later (reordering), ‰.
+    pub stall_per_mille: u16,
+    /// Deliberate connection closes, ‰.
+    pub disconnect_per_mille: u16,
+    /// How many subsequent frames pass before a stalled frame is
+    /// released.
+    pub stall_frames: u32,
+}
+
+impl FaultConfig {
+    /// A lively mix of every fault kind, suitable for a chaos test that
+    /// must still converge: ~6% of frames misbehave.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_per_mille: 20,
+            dup_per_mille: 15,
+            corrupt_per_mille: 5,
+            stall_per_mille: 15,
+            disconnect_per_mille: 3,
+            stall_frames: 3,
+        }
+    }
+}
+
+/// What the transport should do with one encoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Write these byte blobs to the socket, in order. May be empty
+    /// (dropped), contain duplicates, or contain previously stalled
+    /// frames released behind the current one.
+    Write(Vec<Vec<u8>>),
+    /// Close the connection; the supervisor will reconnect with backoff.
+    /// Any stalled frames die with the connection.
+    Disconnect,
+}
+
+/// The seeded per-link fault engine. One instance wraps one outbound
+/// connection; feeding it the same frames in the same order always
+/// yields the same actions.
+pub struct FaultyTransport {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    /// Stalled frames, each with a countdown of how many more
+    /// [`FaultyTransport::apply`] calls must pass before release.
+    stalled: VecDeque<(u32, Vec<u8>)>,
+}
+
+impl FaultyTransport {
+    /// An engine for the link toward `to`, seeded from
+    /// [`FaultConfig::seed`] mixed with the link id so each link gets an
+    /// independent but reproducible decision stream.
+    pub fn link(cfg: FaultConfig, to: ProcessId) -> Self {
+        let mix = u64::from(to.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        FaultyTransport {
+            cfg,
+            rng: SplitMix64::new(cfg.seed ^ mix),
+            stalled: VecDeque::new(),
+        }
+    }
+
+    /// Decides the fate of one encoded frame (as produced by
+    /// [`mcpaxos_actor::frame::encode_frame`], so at least 8 bytes).
+    pub fn apply(&mut self, mut frame: Vec<u8>) -> FaultAction {
+        debug_assert!(frame.len() >= 8, "apply takes whole encoded frames");
+        let roll = (self.rng.next() % 1000) as u16;
+        let c = self.cfg;
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        let mut edge = c.drop_per_mille;
+        if roll < edge {
+            // dropped: nothing written
+        } else if roll < {
+            edge += c.dup_per_mille;
+            edge
+        } {
+            out.push(frame.clone());
+            out.push(frame);
+        } else if roll < {
+            edge += c.corrupt_per_mille;
+            edge
+        } {
+            // Flip one byte past the length prefix — in the payload or
+            // CRC trailer — so the receiver sees a well-delimited frame
+            // whose CRC check must fail. (Never the length prefix: that
+            // could desynchronize into a torn-looking stream instead of
+            // a detected corruption.)
+            let span = frame.len() - 4;
+            let at = 4 + (self.rng.next() as usize % span);
+            frame[at] ^= 0x01;
+            out.push(frame);
+        } else if roll < {
+            edge += c.stall_per_mille;
+            edge
+        } {
+            // +1 compensates for the aging pass below, which also ages
+            // the frame just pushed: the net effect is release after
+            // exactly `stall_frames` further `apply` calls.
+            self.stalled.push_back((c.stall_frames + 1, frame));
+        } else if roll < edge + c.disconnect_per_mille {
+            return FaultAction::Disconnect;
+        } else {
+            out.push(frame);
+        }
+        // Age stalled frames; release the ones whose countdown expired
+        // *behind* whatever this call wrote (that is the reordering).
+        for s in &mut self.stalled {
+            s.0 = s.0.saturating_sub(1);
+        }
+        while let Some((cnt, _)) = self.stalled.front() {
+            if *cnt > 0 {
+                break;
+            }
+            out.push(self.stalled.pop_front().expect("front exists").1);
+        }
+        FaultAction::Write(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpaxos_actor::frame::encode_frame;
+
+    fn frames(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                // Varying lengths so a released stalled frame is never
+                // mistaken for a corrupted copy of the current one.
+                let payload = vec![i as u8; 16 + (i % 7)];
+                let mut f = Vec::new();
+                encode_frame(&payload, &mut f).unwrap();
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_replays_identical_fault_sequence() {
+        let cfg = FaultConfig::chaos(0xFA11);
+        let mut a = FaultyTransport::link(cfg, ProcessId(7));
+        let mut b = FaultyTransport::link(cfg, ProcessId(7));
+        for f in frames(500) {
+            assert_eq!(a.apply(f.clone()), b.apply(f));
+        }
+    }
+
+    #[test]
+    fn different_links_get_different_streams() {
+        let cfg = FaultConfig::chaos(0xFA11);
+        let mut a = FaultyTransport::link(cfg, ProcessId(7));
+        let mut b = FaultyTransport::link(cfg, ProcessId(8));
+        let mut diverged = false;
+        for f in frames(500) {
+            if a.apply(f.clone()) != b.apply(f) {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(
+            diverged,
+            "independent links should not misbehave in lockstep"
+        );
+    }
+
+    #[test]
+    fn chaos_exercises_every_fault_kind() {
+        let cfg = FaultConfig::chaos(0x5EED);
+        let mut eng = FaultyTransport::link(cfg, ProcessId(1));
+        let (mut drops, mut dups, mut corrupts, mut reorders, mut disconnects) = (0, 0, 0, 0, 0);
+        let mut pending_stall = 0usize;
+        for f in frames(5000) {
+            let before = pending_stall;
+            match eng.apply(f.clone()) {
+                FaultAction::Disconnect => {
+                    disconnects += 1;
+                    continue;
+                }
+                FaultAction::Write(out) => {
+                    let wrote = out.len();
+                    let corrupted = out.iter().any(|w| w.len() == f.len() && *w != f);
+                    if corrupted {
+                        corrupts += 1;
+                    } else if wrote == 0 {
+                        // dropped or stalled; disambiguate via engine state
+                        if eng.stalled.len() <= before {
+                            drops += 1;
+                        }
+                    } else if wrote >= 2 && out[0] == out[1] {
+                        dups += 1;
+                    }
+                    if wrote > 1 && out[0] != out[1] {
+                        reorders += 1;
+                    }
+                    pending_stall = eng.stalled.len();
+                }
+            }
+        }
+        assert!(drops > 0, "no drops seen");
+        assert!(dups > 0, "no duplicates seen");
+        assert!(corrupts > 0, "no corruptions seen");
+        assert!(reorders > 0, "no reorderings seen");
+        assert!(disconnects > 0, "no disconnects seen");
+    }
+
+    #[test]
+    fn corrupt_frames_always_fail_crc() {
+        use mcpaxos_actor::frame::FrameDecoder;
+        let cfg = FaultConfig {
+            seed: 9,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            corrupt_per_mille: 1000,
+            stall_per_mille: 0,
+            disconnect_per_mille: 0,
+            stall_frames: 0,
+        };
+        let mut eng = FaultyTransport::link(cfg, ProcessId(2));
+        for f in frames(200) {
+            let FaultAction::Write(out) = eng.apply(f) else {
+                panic!("corrupt-only config never disconnects");
+            };
+            for w in out {
+                let mut dec = FrameDecoder::new();
+                dec.push(&w);
+                // Either an immediate framing error, or — if the flip
+                // landed in unused high bits — still never a clean frame.
+                assert!(
+                    dec.next_frame().is_err(),
+                    "a corrupted frame must never decode cleanly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_frames_are_released_in_order_behind_later_traffic() {
+        let cfg = FaultConfig {
+            seed: 1,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            corrupt_per_mille: 0,
+            stall_per_mille: 1000, // stall everything
+            disconnect_per_mille: 0,
+            stall_frames: 2,
+        };
+        let mut eng = FaultyTransport::link(cfg, ProcessId(3));
+        let fs = frames(4);
+        // Every frame stalls, so writes only ever contain *released*
+        // earlier frames: frame 0 is released while frame 2 stalls.
+        let a0 = eng.apply(fs[0].clone());
+        let a1 = eng.apply(fs[1].clone());
+        let a2 = eng.apply(fs[2].clone());
+        assert_eq!(a0, FaultAction::Write(vec![]));
+        assert_eq!(a1, FaultAction::Write(vec![]));
+        assert_eq!(a2, FaultAction::Write(vec![fs[0].clone()]));
+    }
+}

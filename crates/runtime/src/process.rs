@@ -1,0 +1,311 @@
+//! The per-process event loop shared by every live backend.
+//!
+//! A live process is one OS thread running one actor: it owns a mailbox,
+//! local timers, local stable storage and a PRNG, and it interacts with
+//! the rest of the cluster only through a [`Router`] — the function that
+//! carries an outgoing message toward its destination. The in-process
+//! channel backend ([`crate::Cluster`]) and the TCP backend
+//! ([`crate::TcpNode`]) both drive this same loop with different
+//! routers, which is what keeps agent behaviour identical across
+//! transports.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use mcpaxos_actor::{
+    Actor, Context, Metric, MetricSink, Metrics, ProcessId, SimDuration, SimTime, StableStore,
+    TimerToken,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A boxed actor that can move to its hosting thread.
+pub type SendActor<M> = Box<dyn SendableActor<M>>;
+
+/// Object-safe alias trait for `Actor<Msg = M> + Send`.
+pub trait SendableActor<M>: Send {
+    /// See [`Actor::on_start`].
+    fn on_start(&mut self, ctx: &mut dyn Context<M>);
+    /// See [`Actor::on_recover`].
+    fn on_recover(&mut self, ctx: &mut dyn Context<M>);
+    /// See [`Actor::on_message`].
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut dyn Context<M>);
+    /// See [`Actor::on_timer`].
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<M>);
+    /// See [`Actor::on_link_reset`].
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<M>);
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl<M, A: Actor<Msg = M> + Send + 'static> SendableActor<M> for A {
+    fn on_start(&mut self, ctx: &mut dyn Context<M>) {
+        Actor::on_start(self, ctx);
+    }
+    fn on_recover(&mut self, ctx: &mut dyn Context<M>) {
+        Actor::on_recover(self, ctx);
+    }
+    fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut dyn Context<M>) {
+        Actor::on_message(self, from, msg, ctx);
+    }
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn Context<M>) {
+        Actor::on_timer(self, token, ctx);
+    }
+    fn on_link_reset(&mut self, peer: ProcessId, ctx: &mut dyn Context<M>) {
+        Actor::on_link_reset(self, peer, ctx);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Mailbox events delivered to a process thread.
+pub(crate) enum Event<M> {
+    /// A message from `from` (another actor, or an external client).
+    Msg { from: ProcessId, msg: M },
+    /// The link to `peer` was severed and re-established; per-peer
+    /// incremental state toward it must be reset.
+    LinkReset(ProcessId),
+    /// Graceful shutdown: the thread returns its actor for inspection.
+    Stop,
+}
+
+/// Carries an outgoing message `(from, to, msg)` toward its destination.
+/// Backends decide what that means: an in-process channel push, or an
+/// enqueue onto a supervised TCP link.
+pub(crate) type Router<M> = Arc<dyn Fn(ProcessId, ProcessId, M) + Send + Sync>;
+
+/// Sizes a message for live wire accounting: returns a static tag and the
+/// serialized byte size. Shared by every process thread.
+pub type LiveByteMeter<M> = Arc<dyn Fn(&M) -> (&'static str, u64) + Send + Sync>;
+
+/// Metric name for cumulative serialized bytes handed to the transport
+/// (recorded per sending process when a byte meter is installed).
+pub const METRIC_WIRE_BYTES: &str = "wire_bytes";
+/// Metric name for messages handed to the transport under byte
+/// accounting.
+pub const METRIC_WIRE_MSGS: &str = "wire_msgs";
+/// Metric name counting sends that could not be handed to a live
+/// destination: the mailbox of a stopped/crashed process, or a message
+/// too large to frame. Recorded per *sender* — it is the sender's view
+/// of the fair-lossy link.
+pub const METRIC_SEND_FAILURES: &str = "send_failures";
+
+/// Everything a process thread needs to run, bundled so backends build
+/// it declaratively.
+pub(crate) struct ProcessSpec<M> {
+    pub pid: ProcessId,
+    pub actor: SendActor<M>,
+    pub rx: Receiver<Event<M>>,
+    pub router: Router<M>,
+    pub metrics: Arc<Mutex<Metrics>>,
+    pub start: Instant,
+    pub meter: Option<LiveByteMeter<M>>,
+    /// The process's stable storage. In-memory by default; the TCP
+    /// multi-process example injects a file-backed WAL so state survives
+    /// an OS-process kill.
+    pub storage: Box<dyn StableStore + Send>,
+    /// When true the actor is entering via [`Actor::on_recover`] (a
+    /// restart over pre-existing storage) instead of [`Actor::on_start`].
+    pub recovered: bool,
+}
+
+pub(crate) fn run_process<M: Send + 'static>(spec: ProcessSpec<M>) -> SendActor<M> {
+    let ProcessSpec {
+        pid,
+        mut actor,
+        rx,
+        router,
+        metrics,
+        start,
+        meter,
+        mut storage,
+        recovered,
+    } = spec;
+    let mut timers: BTreeMap<TimerToken, Instant> = BTreeMap::new();
+    let mut rng = rand_like::SplitMix64::new(0x5EED ^ u64::from(pid.raw()));
+    let mut fx = ThreadFx::default();
+
+    macro_rules! upcall {
+        ($body:expr) => {{
+            let mut ctx = ThreadCtx {
+                me: pid,
+                start,
+                storage: &mut *storage,
+                rng: &mut rng,
+                fx: &mut fx,
+            };
+            #[allow(clippy::redundant_closure_call)]
+            ($body)(&mut ctx);
+            apply_effects(pid, &mut fx, &router, &metrics, &mut timers, &meter);
+        }};
+    }
+
+    if recovered {
+        upcall!(|ctx: &mut ThreadCtx<'_, M>| actor.on_recover(ctx));
+    } else {
+        upcall!(|ctx: &mut ThreadCtx<'_, M>| actor.on_start(ctx));
+    }
+
+    loop {
+        // Fire due timers first.
+        let now = Instant::now();
+        let due: Vec<TimerToken> = timers
+            .iter()
+            .filter(|(_, &at)| at <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in due {
+            timers.remove(&token);
+            upcall!(|ctx: &mut ThreadCtx<'_, M>| actor.on_timer(token, ctx));
+        }
+        // Wait for the next message or timer deadline.
+        let next_deadline = timers.values().min().copied();
+        let wait = match next_deadline {
+            Some(at) => at.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(Event::Msg { from, msg }) => {
+                upcall!(|ctx: &mut ThreadCtx<'_, M>| actor.on_message(from, msg, ctx));
+            }
+            Ok(Event::LinkReset(peer)) => {
+                upcall!(|ctx: &mut ThreadCtx<'_, M>| actor.on_link_reset(peer, ctx));
+            }
+            Ok(Event::Stop) => return actor,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return actor,
+        }
+    }
+}
+
+struct ThreadFx<M> {
+    sends: Vec<(ProcessId, M)>,
+    timer_sets: Vec<(SimDuration, TimerToken)>,
+    timer_cancels: Vec<TimerToken>,
+    metrics: Vec<Metric>,
+}
+
+impl<M> Default for ThreadFx<M> {
+    fn default() -> Self {
+        ThreadFx {
+            sends: Vec::new(),
+            timer_sets: Vec::new(),
+            timer_cancels: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+}
+
+fn apply_effects<M: Send + 'static>(
+    pid: ProcessId,
+    fx: &mut ThreadFx<M>,
+    router: &Router<M>,
+    metrics: &Arc<Mutex<Metrics>>,
+    timers: &mut BTreeMap<TimerToken, Instant>,
+    meter: &Option<LiveByteMeter<M>>,
+) {
+    if !fx.metrics.is_empty() {
+        let mut m = metrics.lock();
+        for metric in fx.metrics.drain(..) {
+            m.record(pid, metric);
+        }
+    }
+    for token in fx.timer_cancels.drain(..) {
+        timers.remove(&token);
+    }
+    let now = Instant::now();
+    for (after, token) in fx.timer_sets.drain(..) {
+        timers.insert(token, now + Duration::from_millis(after.ticks()));
+    }
+    if !fx.sends.is_empty() {
+        // Wire accounting at hand-off to the transport, mirroring the
+        // simulator's per-send byte metering.
+        if let Some(meter) = meter {
+            let mut total = 0u64;
+            for (_, msg) in fx.sends.iter() {
+                total += meter(msg).1;
+            }
+            let mut m = metrics.lock();
+            m.record(pid, Metric::add(METRIC_WIRE_BYTES, total as i64));
+            m.record(pid, Metric::add(METRIC_WIRE_MSGS, fx.sends.len() as i64));
+        }
+        for (to, msg) in fx.sends.drain(..) {
+            router(pid, to, msg);
+        }
+    }
+}
+
+struct ThreadCtx<'a, M> {
+    me: ProcessId,
+    start: Instant,
+    storage: &'a mut dyn StableStore,
+    rng: &'a mut rand_like::SplitMix64,
+    fx: &'a mut ThreadFx<M>,
+}
+
+impl<M> Context<M> for ThreadCtx<'_, M> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_millis() as u64)
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.fx.sends.push((to, msg));
+    }
+    fn set_timer(&mut self, after: SimDuration, token: TimerToken) {
+        self.fx.timer_sets.push((after, token));
+    }
+    fn cancel_timer(&mut self, token: TimerToken) {
+        self.fx.timer_cancels.push(token);
+    }
+    fn storage(&mut self) -> &mut dyn StableStore {
+        self.storage
+    }
+    fn metric(&mut self, metric: Metric) {
+        self.fx.metrics.push(metric);
+    }
+    fn random(&mut self) -> u64 {
+        self.rng.next()
+    }
+}
+
+/// Tiny allocation-free PRNG (SplitMix64) so the runtime does not need a
+/// full RNG dependency; actors use randomness only for tie-breaking, and
+/// the fault injector uses it for its seeded per-link decision stream.
+pub(crate) mod rand_like {
+    /// SplitMix64 state.
+    pub struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            SplitMix64(seed)
+        }
+
+        /// Next pseudo-random value.
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_like::SplitMix64;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nonconstant() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let xs: Vec<u64> = (0..5).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..5).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+}

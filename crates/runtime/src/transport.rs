@@ -1,0 +1,37 @@
+//! The backend-independent face of a live deployment.
+//!
+//! Harness code (benches, examples, chaos tests) drives a cluster through
+//! this trait so the same driver runs over in-process channels
+//! ([`crate::Cluster`]) or loopback TCP ([`crate::TcpNode`]). Agents never
+//! see it — they talk to [`mcpaxos_actor::Context`]; `Transport` is only
+//! the *outside* view: inject a message, read the metrics, read the clock.
+
+use crate::Cluster;
+use mcpaxos_actor::{Metrics, ProcessId, SimTime};
+
+/// A running message-passing backend hosting actor processes.
+pub trait Transport<M> {
+    /// Injects `msg` into `to`'s mailbox as if sent by `from` (typically
+    /// an external client id). Sends to dead or unreachable processes
+    /// are dropped and counted, never panicking — the fair-lossy link
+    /// the protocol already assumes.
+    fn send(&self, to: ProcessId, from: ProcessId, msg: M);
+
+    /// Snapshot of the metrics recorded so far.
+    fn metrics(&self) -> Metrics;
+
+    /// Elapsed logical time (ticks = milliseconds since backend start).
+    fn now(&self) -> SimTime;
+}
+
+impl<M: Send + 'static> Transport<M> for crate::Cluster<M> {
+    fn send(&self, to: ProcessId, from: ProcessId, msg: M) {
+        Cluster::send(self, to, from, msg)
+    }
+    fn metrics(&self) -> Metrics {
+        Cluster::metrics(self)
+    }
+    fn now(&self) -> SimTime {
+        Cluster::now(self)
+    }
+}

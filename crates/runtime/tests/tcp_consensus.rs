@@ -1,0 +1,156 @@
+//! The acceptance scenario for the TCP backend: a full Multicoordinated
+//! Paxos deployment (1 proposer / 2 coordinators / 3 acceptors / 2
+//! learners) spread over four [`TcpNode`]s on loopback, with delta
+//! shipping on, learns every command while one acceptor is killed and
+//! restarted mid-run — and the restart costs **zero** `NeedFull`
+//! round-trips, because the transport's link-reset upcall and the
+//! protocol's recovery `Hello` both downgrade the restarted peer to full
+//! payloads proactively, over the real wire.
+//!
+//! `full_resyncs` is incremented only in the `NeedFull` handlers of the
+//! acceptor and the coordinator, so `total("full_resyncs") == 0` is a
+//! precise "no NeedFull round-trip happened" probe.
+
+mod common;
+
+use common::{cmd, delta_cfg, settle, total, H, K, M};
+use mcpaxos_actor::{FileWal, ProcessId};
+use mcpaxos_core::{Acceptor, Coordinator, Learner, Msg, Proposer};
+use mcpaxos_cstruct::CStruct;
+use mcpaxos_runtime::{PeerTable, TcpConfig, TcpNode};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+#[test]
+fn acceptor_kill_and_restart_over_tcp_learns_all_with_zero_needfull() {
+    let peers = PeerTable::shared();
+    let tcp = TcpConfig::default();
+    let cfg = delta_cfg(1, 2, 3, 2);
+    cfg.validate().unwrap();
+
+    let mut front: TcpNode<M> = TcpNode::bind(peers.clone(), tcp.clone()).unwrap();
+    let mut accs: TcpNode<M> = TcpNode::bind(peers.clone(), tcp.clone()).unwrap();
+    let mut victim: TcpNode<M> = TcpNode::bind(peers.clone(), tcp.clone()).unwrap();
+    let mut learn: TcpNode<M> = TcpNode::bind(peers.clone(), tcp.clone()).unwrap();
+
+    let proposer = cfg.roles.proposers()[0];
+    front.spawn(proposer, Box::new(Proposer::<H>::new(cfg.clone())));
+    for &c in cfg.roles.coordinators() {
+        front.spawn(c, Box::new(Coordinator::<H>::new(cfg.clone(), c)));
+    }
+    for &a in &cfg.roles.acceptors()[..2] {
+        accs.spawn(a, Box::new(Acceptor::<H>::new(cfg.clone())));
+    }
+    // The kill target runs on its own node over a file-backed WAL, so
+    // its durable acceptor state survives the node exactly as it would
+    // survive an OS-process kill.
+    let a_kill = cfg.roles.acceptors()[2];
+    let wal =
+        std::env::temp_dir().join(format!("mcpaxos_tcp_consensus_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    victim.spawn_with_storage(
+        a_kill,
+        Box::new(Acceptor::<H>::new(cfg.clone())),
+        Box::new(FileWal::open_synchronous(&wal).unwrap()),
+    );
+    for &l in cfg.roles.learners() {
+        learn.spawn(l, Box::new(Learner::<H>::new(cfg.clone())));
+    }
+
+    let client = ProcessId(9_999);
+    let propose = |range: std::ops::Range<u32>| {
+        for i in range {
+            front.send(
+                proposer,
+                client,
+                Msg::Propose {
+                    cmd: cmd(i),
+                    acc_quorum: None,
+                },
+            );
+        }
+    };
+
+    // Phase 1: a healthy cluster, deltas flowing to all three acceptors.
+    propose(0..10);
+    settle(&[&front, &accs, &victim, &learn], &cfg, 10);
+
+    // Phase 2: kill the acceptor's node mid-run. The remaining majority
+    // keeps learning; the coordinators' per-peer delta bases for the
+    // dead acceptor silently advance with every queued send.
+    victim.kill();
+    propose(10..20);
+    settle(&[&front, &accs, &learn], &cfg, 20);
+
+    // Phase 3: restart it on a *fresh* node (new port) over the same
+    // WAL. Its supervisors and its peers' supervisors re-resolve and
+    // reconnect; the transport fires `on_link_reset` and the recovered
+    // acceptor multicasts the protocol-level `Hello`.
+    let mut revived: TcpNode<M> = TcpNode::bind(peers.clone(), tcp.clone()).unwrap();
+    revived.spawn_recovered(
+        a_kill,
+        Box::new(Acceptor::<H>::new(cfg.clone())),
+        Box::new(FileWal::open_synchronous(&wal).unwrap()),
+    );
+
+    // Wait until the downgrade demonstrably happened over the wire: a
+    // coordinator processed the link reset / Hello and dropped its base
+    // (base_resets), and the transport really reconnected.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let nodes: [&TcpNode<M>; 4] = [&front, &accs, &revived, &learn];
+        if total(&nodes, "base_resets") > 0 && total(&nodes, "tcp_reconnects") > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reconnect + proactive base downgrade never happened"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Phase 4: more commands — the restarted acceptor participates
+    // again, fed full payloads first, deltas after.
+    propose(20..30);
+    settle(&[&front, &accs, &revived, &learn], &cfg, 30);
+
+    let nodes: [&TcpNode<M>; 4] = [&front, &accs, &revived, &learn];
+    assert_eq!(
+        total(&nodes, "full_resyncs"),
+        0,
+        "a NeedFull round-trip fired: some sender shipped a delta \
+         against a base the restarted acceptor did not hold"
+    );
+    assert!(
+        total(&nodes, "base_resets") > 0,
+        "the proactive downgrade must fire over the real wire"
+    );
+    assert!(
+        total(&nodes, "delta_sends") > 0,
+        "delta shipping must actually have been exercised"
+    );
+    assert!(
+        total(&nodes, "tcp_link_resets") > 0,
+        "the transport must deliver on_link_reset upcalls"
+    );
+
+    let learners = learn.stop();
+    let expected: HashSet<K> = (0..30).map(cmd).collect();
+    for &l in cfg.roles.learners() {
+        let learner = learners[&l]
+            .as_any()
+            .downcast_ref::<Learner<H>>()
+            .expect("learner type");
+        let got: HashSet<K> = learner.learned().commands().into_iter().collect();
+        assert_eq!(
+            learner.learned().total_len(),
+            30,
+            "learner {l} must learn every command across the kill+restart"
+        );
+        assert_eq!(got, expected, "learner {l} learned the wrong set");
+    }
+    front.stop();
+    accs.stop();
+    revived.stop();
+    let _ = std::fs::remove_file(&wal);
+}
