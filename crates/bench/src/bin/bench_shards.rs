@@ -14,7 +14,9 @@
 //!
 //! Usage: `cargo run --release -p mcpaxos-bench --bin bench_shards [--check] [--out PATH]`
 
-use mcpaxos_bench::shard_bench::{shard_run, ShardRunStats, SHARD_BENCH_COMMANDS};
+use mcpaxos_bench::shard_bench::{
+    shard_batched_run, shard_run, ShardRunStats, SHARD_BENCH_COMMANDS,
+};
 use std::fmt::Write as _;
 
 const SHARD_COUNTS: [u16; 3] = [1, 2, 4];
@@ -70,13 +72,38 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
 
+    // Batched-vs-unbatched scaling rows (informational, not gated): the
+    // same 4-shard/1% workload with E14's batch=16/depth=8 knobs dialed
+    // into every shard, measured in deterministic simulator ticks. The
+    // 1/1 lockstep row is the disciplined single-wave baseline; knobs
+    // off is free-running (every proposal ships immediately).
+    let plain = shard_batched_run(4, 0, 0, SHARD_BENCH_COMMANDS, SEED);
+    let lockstep = shard_batched_run(4, 1, 1, SHARD_BENCH_COMMANDS, SEED);
+    let batched = shard_batched_run(4, 16, 8, SHARD_BENCH_COMMANDS, SEED);
+    eprintln!(
+        "shards=4: unbatched {} ticks, lockstep 1/1 {} ticks, batched 16/8 {} ticks ({:.1}x vs 1/1)",
+        plain.end_ticks,
+        lockstep.end_ticks,
+        batched.end_ticks,
+        lockstep.end_ticks as f64 / batched.end_ticks.max(1) as f64
+    );
+
     let mut json = String::from("[\n");
-    for (i, s) in runs.iter().enumerate() {
-        let sep = if i + 1 < runs.len() { "," } else { "" };
+    for s in &runs {
         let _ = writeln!(
             json,
-            "  {}{sep}",
+            "  {},",
             json_record(s, s.cps / base_cps(s.transfer_pct))
+        );
+    }
+    let batched_rows = [&plain, &lockstep, &batched];
+    for (i, s) in batched_rows.into_iter().enumerate() {
+        let sep = if i + 1 < batched_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  {{\"shards\":{},\"batch\":{},\"depth\":{},\"commands\":{},\"learned\":{},\
+             \"end_ticks\":{},\"bank_total\":{}}}{sep}",
+            s.shards, s.batch, s.depth, s.commands, s.learned, s.end_ticks, s.bank_total
         );
     }
     json.push_str("]\n");

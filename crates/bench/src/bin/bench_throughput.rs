@@ -1,0 +1,181 @@
+//! CI-facing throughput benchmark: the batched + pipelined hot path
+//! under open- and closed-loop load (experiment E14).
+//!
+//! Sweeps the {batch × depth} grid open-loop (fixed arrival rate, so a
+//! saturated system shows its backlog as latency instead of throttling
+//! the offered load), runs a closed-loop companion at the gate point,
+//! adds a sharded batched-vs-unbatched pair, emits
+//! `BENCH_throughput.json` (a flat array of per-run records) and prints
+//! the sweep table. With `--check`, exits non-zero unless
+//!
+//! * every run learns all issued commands (no silent loss under load),
+//! * batch=16/depth=8 sustains ≥ 5× the batch=1/depth=1 open-loop
+//!   throughput (the amortization floor),
+//! * p999 is reported for every run (percentile plumbing intact).
+//!
+//! Usage: `cargo run --release -p mcpaxos-bench --bin bench_throughput [--check] [--out PATH]`
+
+use mcpaxos_bench::shard_bench::shard_batched_run;
+use mcpaxos_bench::throughput_bench::{
+    closed_loop_run, open_loop_run, ThroughputStats, THROUGHPUT_COMMANDS, THROUGHPUT_GATE_SPEEDUP,
+    THROUGHPUT_GRID, THROUGHPUT_WINDOW,
+};
+use std::fmt::Write as _;
+
+const SEED: u64 = 42;
+
+fn json_record(s: &ThroughputStats) -> String {
+    format!(
+        "{{\"mode\":\"{}\",\"batch\":{},\"depth\":{},\"commands\":{},\"learned\":{},\
+         \"makespan_ticks\":{},\"cps\":{:.0},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\
+         \"batches\":{},\"batched_cmds\":{},\"sheds\":{},\"stalls\":{}}}",
+        s.mode,
+        s.batch,
+        s.depth,
+        s.commands,
+        s.learned,
+        s.makespan_ticks,
+        s.cps,
+        s.lat.p50,
+        s.lat.p99,
+        s.lat.p999,
+        s.lat.max,
+        s.batches,
+        s.batched_cmds,
+        s.sheds,
+        s.stalls,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let mut runs: Vec<ThroughputStats> = Vec::new();
+    for &(b, d) in &THROUGHPUT_GRID {
+        let s = open_loop_run(b, d, THROUGHPUT_COMMANDS, SEED);
+        eprintln!(
+            "open   b={b:>2}/d={d:>2}: {} cmds in {} ticks = {:>6.0} cps, p50/p99/p999 = {}/{}/{}",
+            s.commands, s.makespan_ticks, s.cps, s.lat.p50, s.lat.p99, s.lat.p999
+        );
+        runs.push(s);
+    }
+    let closed = closed_loop_run(16, 8, THROUGHPUT_COMMANDS, THROUGHPUT_WINDOW, SEED);
+    eprintln!(
+        "closed b=16/d= 8: {} cmds in {} ticks = {:>6.0} cps (window {})",
+        closed.commands, closed.makespan_ticks, closed.cps, THROUGHPUT_WINDOW
+    );
+    runs.push(closed);
+
+    // Sharded trio: the same batching knobs through `ShardedHarness` at
+    // 2 shards — knobs off, the lockstep 1/1 baseline, and 16/8.
+    let shard_plain = shard_batched_run(2, 0, 0, 400, SEED);
+    let shard_lockstep = shard_batched_run(2, 1, 1, 400, SEED);
+    let shard_batched = shard_batched_run(2, 16, 8, 400, SEED);
+    eprintln!(
+        "shards=2: unbatched {} ticks, lockstep 1/1 {} ticks, batched 16/8 {} ticks ({:.1}x vs 1/1)",
+        shard_plain.end_ticks,
+        shard_lockstep.end_ticks,
+        shard_batched.end_ticks,
+        shard_lockstep.end_ticks as f64 / shard_batched.end_ticks.max(1) as f64
+    );
+
+    let mut json = String::from("[\n");
+    for s in &runs {
+        let _ = writeln!(json, "  {},", json_record(s));
+    }
+    let shard_rows = [&shard_plain, &shard_lockstep, &shard_batched];
+    for (i, s) in shard_rows.into_iter().enumerate() {
+        let sep = if i + 1 < shard_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  {{\"mode\":\"sharded\",\"batch\":{},\"depth\":{},\"shards\":{},\"commands\":{},\
+             \"learned\":{},\"end_ticks\":{},\"bank_total\":{}}}{sep}",
+            s.batch, s.depth, s.shards, s.commands, s.learned, s.end_ticks, s.bank_total
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&out, &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {out} ({} bytes)", json.len());
+
+    println!(
+        "open-loop throughput sweep ({} commands, 1 tick = 1 ms):",
+        THROUGHPUT_COMMANDS
+    );
+    println!("  batch/depth |   cps |  p50 |  p99 | p999 | waves");
+    for s in &runs {
+        let label = if s.mode == "closed" {
+            format!("{}/{} closed", s.batch, s.depth)
+        } else if s.batch == 0 {
+            "off".to_string()
+        } else {
+            format!("{}/{}", s.batch, s.depth)
+        };
+        println!(
+            "  {:>11} | {:>5.0} | {:>4} | {:>4} | {:>4} | {:>5}",
+            label, s.cps, s.lat.p50, s.lat.p99, s.lat.p999, s.batches
+        );
+    }
+
+    let cps_at = |batch: usize, depth: usize| {
+        runs.iter()
+            .find(|r| r.mode == "open" && r.batch == batch && r.depth == depth)
+            .map(|r| r.cps)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = cps_at(16, 8) / cps_at(1, 1);
+    println!("gate speedup (16/8 vs 1/1 open-loop): {speedup:.1}x");
+
+    if check {
+        let mut failed = Vec::new();
+        for s in &runs {
+            if s.learned != s.commands {
+                failed.push(format!(
+                    "{} b={}/d={} learned {} of {} commands",
+                    s.mode, s.batch, s.depth, s.learned, s.commands
+                ));
+            }
+            if s.lat.p999 < s.lat.p50 {
+                failed.push(format!(
+                    "{} b={}/d={}: p999 {} below p50 {} — percentile plumbing broken",
+                    s.mode, s.batch, s.depth, s.lat.p999, s.lat.p50
+                ));
+            }
+        }
+        for s in [&shard_plain, &shard_lockstep, &shard_batched] {
+            if s.learned != s.commands {
+                failed.push(format!(
+                    "sharded b={}/d={} learned {} of {} commands",
+                    s.batch, s.depth, s.learned, s.commands
+                ));
+            }
+            if s.bank_total != shard_plain.bank_total {
+                failed.push(format!(
+                    "sharded b={}/d={} diverged: bank {} vs {}",
+                    s.batch, s.depth, s.bank_total, shard_plain.bank_total
+                ));
+            }
+        }
+        if speedup < THROUGHPUT_GATE_SPEEDUP {
+            failed.push(format!(
+                "batched speedup {speedup:.2}x < {THROUGHPUT_GATE_SPEEDUP}x floor (16/8 vs 1/1)"
+            ));
+        }
+        if failed.is_empty() {
+            println!(
+                "CHECK PASSED (>= {THROUGHPUT_GATE_SPEEDUP}x at batch=16/depth=8, all learned, p999 reported)"
+            );
+        } else {
+            for f in &failed {
+                eprintln!("CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

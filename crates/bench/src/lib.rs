@@ -15,6 +15,7 @@ pub mod harness;
 pub mod history_workloads;
 pub mod shard_bench;
 pub mod table;
+pub mod throughput_bench;
 pub mod wal_bench;
 pub mod wire_bench;
 
@@ -39,5 +40,6 @@ pub fn all_experiments() -> Vec<Table> {
         experiments::e11_wal(),
         experiments::e12_shards(),
         experiments::e13_churn(),
+        experiments::e14_throughput(),
     ]
 }

@@ -787,6 +787,13 @@ impl<C: CStruct> Actor for Acceptor<C> {
             Msg::Propose { cmd, .. } => {
                 self.try_accept_fast(cmd, ctx);
             }
+            Msg::ProposeBatch { cmds, .. } => {
+                // Identical to k consecutive proposals; in a fast round the
+                // group-commit buffer (§4.4) amortizes the vote writes.
+                for cmd in cmds {
+                    self.try_accept_fast(cmd, ctx);
+                }
+            }
             // Gossip from fellow acceptors: collision detection for
             // acceptor-driven recovery.
             Msg::P2b { round, val } if self.cfg.collision != CollisionPolicy::NewRound => {

@@ -14,7 +14,7 @@
 //! "recovered coordinator is a new coordinator" (incarnation) argument
 //! while keeping `Phase2Start` once-per-round.
 
-use crate::agents::{metrics, TOK_TICK};
+use crate::agents::{metrics, TOK_BATCH, TOK_TICK};
 use crate::compact::{Compactor, Resolved};
 use crate::config::{CollisionPolicy, DeployConfig};
 use crate::msg::{Msg, Payload};
@@ -24,7 +24,7 @@ use crate::schedule::RoundKind;
 use mcpaxos_actor::wire::{from_bytes, to_bytes};
 use mcpaxos_actor::{Actor, Context, Metric, ProcessId, SimTime, TimerToken};
 use mcpaxos_cstruct::{glb_all_ref, CStruct};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Storage key for the round floor (see module docs).
@@ -76,6 +76,18 @@ pub struct Coordinator<C: CStruct> {
     /// Per acceptor: the round and logical value length of the last "2a"
     /// we shipped it — the base the next delta extends.
     sent_2a: BTreeMap<ProcessId, (Round, u64)>,
+    /// Batching mode: commands admitted to the current classic round but
+    /// not yet shipped in a `2a` wave.
+    batch_queue: Vec<C::Cmd>,
+    /// Batching mode: in-flight `2a` waves, each recorded as the
+    /// `total_len` of `cval` when the wave went out. A wave retires once
+    /// an acceptor quorum's `2b` values all reach its target length;
+    /// retirement frees a pipeline slot and pumps the next wave.
+    waves: VecDeque<u64>,
+    /// Whether a `TOK_BATCH` linger flush is currently armed (avoids
+    /// re-arming — and thereby pushing back — the timer on every
+    /// admission while a partial batch waits).
+    linger_armed: bool,
 }
 
 impl<C: CStruct> Coordinator<C> {
@@ -113,6 +125,95 @@ impl<C: CStruct> Coordinator<C> {
             last_progress: SimTime::ZERO,
             comp,
             sent_2a: BTreeMap::new(),
+            batch_queue: Vec::new(),
+            waves: VecDeque::new(),
+            linger_armed: false,
+        }
+    }
+
+    fn batching(&self) -> bool {
+        self.cfg.batch.enabled()
+    }
+
+    /// Batching-mode admission: queue `cmd` for the next `2a` wave of the
+    /// current classic round, shedding (counted) past `queue_cap`.
+    /// Commands already queued or already shipped in `cval` are
+    /// retransmissions of in-flight work and are dropped — loss recovery
+    /// runs through the stall detector's round change, which re-seeds
+    /// `outstanding`.
+    fn enqueue_batched(&mut self, cmd: C::Cmd, ctx: &mut dyn Context<Msg<C>>) {
+        let dup =
+            self.batch_queue.contains(&cmd) || self.cval.as_ref().is_some_and(|v| v.contains(&cmd));
+        if dup {
+            return;
+        }
+        let cap = self.cfg.batch.queue_cap;
+        if cap > 0 && self.batch_queue.len() >= cap {
+            // Shed regardless of the configured overflow policy: Stall is
+            // enforced at the proposer's forward window, so a command
+            // overflowing *here* has already escaped that window.
+            ctx.metric(Metric::incr(metrics::BACKPRESSURE_SHEDS));
+            return;
+        }
+        self.batch_queue.push(cmd);
+    }
+
+    /// Drains the batch queue into `2a` waves: up to `batch_size`
+    /// commands per wave, up to `pipeline_depth` waves in flight. A
+    /// partial batch lingers for `batch_ticks` (armed once per wait)
+    /// unless `linger_expired` — or a zero linger — flushes it as-is.
+    fn pump_batches(&mut self, linger_expired: bool, ctx: &mut dyn Context<Msg<C>>) {
+        if !self.batching() || self.batch_queue.is_empty() {
+            return;
+        }
+        let mut val = match self.cval.take() {
+            Some(v) => v,
+            None => return,
+        };
+        if self.cfg.schedule.kind(self.crnd) != RoundKind::Classic {
+            self.cval = Some(val);
+            return;
+        }
+        let b = self.cfg.batch;
+        let mut allow_partial = linger_expired || b.batch_ticks.ticks() == 0;
+        while !self.batch_queue.is_empty() && self.waves.len() < b.pipeline_depth {
+            if self.batch_queue.len() < b.batch_size && !allow_partial {
+                if !self.linger_armed {
+                    self.linger_armed = true;
+                    ctx.set_timer(b.batch_ticks, TOK_BATCH);
+                }
+                break;
+            }
+            // One linger expiry flushes one partial wave; full waves keep
+            // draining.
+            allow_partial = b.batch_ticks.ticks() == 0;
+            let take = self.batch_queue.len().min(b.batch_size);
+            let target = {
+                let v = Arc::make_mut(&mut val);
+                v.append_all(self.batch_queue.drain(..take));
+                v.total_len()
+            };
+            ctx.metric(Metric::incr(metrics::PHASE2A));
+            ctx.metric(Metric::incr(metrics::BATCHES));
+            ctx.metric(Metric::add(metrics::BATCHED_CMDS, take as i64));
+            let acceptors = self.cfg.roles.acceptors().to_vec();
+            self.send_2a(&acceptors, self.crnd, &val, ctx);
+            self.waves.push_back(target);
+        }
+        self.cval = Some(val);
+    }
+
+    /// Clears the batch scheduler on a round change: queued commands
+    /// survive in `outstanding` (the next `Phase2Start` re-seeds them),
+    /// in-flight waves belong to the abandoned round.
+    fn reset_batches(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        if !self.batching() {
+            return;
+        }
+        self.batch_queue.clear();
+        self.waves.clear();
+        if std::mem::take(&mut self.linger_armed) {
+            ctx.cancel_timer(TOK_BATCH);
         }
     }
 
@@ -421,6 +522,7 @@ impl<C: CStruct> Coordinator<C> {
         self.persist_floor(r, ctx);
         self.crnd = r;
         self.cval = None;
+        self.reset_batches(ctx);
         self.note_heard(r);
         self.last_progress = ctx.now();
         ctx.metric(Metric::incr(metrics::ROUNDS_STARTED));
@@ -470,6 +572,15 @@ impl<C: CStruct> Coordinator<C> {
         ctx.metric(Metric::incr(metrics::PHASE2_STARTS));
         let acceptors = self.cfg.roles.acceptors().to_vec();
         self.send_2a(&acceptors, round, &val, ctx);
+        if self.batching() {
+            // The Phase2Start "2a" (carrying the re-seeded backlog and
+            // outstanding commands) is itself the round's first wave; the
+            // old round's scheduler state is void.
+            self.reset_batches(ctx);
+            if self.cfg.schedule.kind(round) == RoundKind::Classic {
+                self.waves.push_back(val.total_len());
+            }
+        }
         self.cval = Some(val);
     }
 
@@ -525,6 +636,28 @@ impl<C: CStruct> Coordinator<C> {
             self.outstanding
                 .retain(|c| !g.contains(c) && g.appended(c) != g);
         }
+        // Wave retirement: a pipelined `2a` wave is acknowledged once a
+        // quorum of acceptors report `2b` values covering its target
+        // length (the quorum'th-largest reported length, so one straggler
+        // cannot hold the pipeline). Each retirement frees a slot and
+        // pumps the next wave.
+        if self.batching() && round == self.crnd && !self.waves.is_empty() {
+            let entry = self.round_2b.get(&round).expect("just inserted");
+            let quorum = self.cfg.quorums.size_for(kind);
+            if entry.len() >= quorum {
+                let mut lens: Vec<u64> = entry.values().map(|v| v.total_len()).collect();
+                lens.sort_unstable_by(|a, b| b.cmp(a));
+                let acked = lens[quorum - 1];
+                let mut retired = false;
+                while self.waves.front().is_some_and(|&t| t <= acked) {
+                    self.waves.pop_front();
+                    retired = true;
+                }
+                if retired {
+                    self.pump_batches(false, ctx);
+                }
+            }
+        }
         // Fast-round collision detection.
         if kind == RoundKind::Fast {
             if !self.collided.contains(&round) {
@@ -573,6 +706,46 @@ impl<C: CStruct> Coordinator<C> {
                 // "2b" snapshots into "1b" evidence here would be unsound:
                 // they are not the senders' final word for the round.
             }
+        }
+    }
+
+    /// Handles one proposed command; `pump` is deferred by the batch
+    /// handler so a whole [`Msg::ProposeBatch`] is admitted before waves
+    /// form (otherwise the first admissions would ship as fragments).
+    fn handle_propose(
+        &mut self,
+        cmd: C::Cmd,
+        acc_quorum: Option<Vec<ProcessId>>,
+        pump: bool,
+        ctx: &mut dyn Context<Msg<C>>,
+    ) {
+        // A retransmission of an already-stabilized command (its
+        // Learned notification was lost) must not re-enter the
+        // protocol: its membership entry is below the watermark.
+        if self.cfg.wire.compact_every > 0 && self.comp.contains_recent(&cmd) {
+            return;
+        }
+        if !self.outstanding.contains(&cmd) {
+            if self.outstanding.is_empty() {
+                self.last_progress = ctx.now();
+            }
+            self.outstanding.push(cmd.clone());
+        }
+        let classic_active =
+            self.cval.is_some() && self.cfg.schedule.kind(self.crnd) == RoundKind::Classic;
+        if classic_active {
+            if self.batching() {
+                // Per-command acceptor pins are ignored in batching mode:
+                // a wave amortizes one multicast over the whole batch.
+                self.enqueue_batched(cmd, ctx);
+                if pump {
+                    self.pump_batches(false, ctx);
+                }
+            } else {
+                self.phase2a_classic(cmd, acc_quorum, ctx);
+            }
+        } else if !self.backlog.contains(&cmd) {
+            self.backlog.push(cmd);
         }
     }
 
@@ -669,25 +842,13 @@ impl<C: CStruct> Actor for Coordinator<C> {
     fn on_message(&mut self, from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
         match msg {
             Msg::Propose { cmd, acc_quorum } => {
-                // A retransmission of an already-stabilized command (its
-                // Learned notification was lost) must not re-enter the
-                // protocol: its membership entry is below the watermark.
-                if self.cfg.wire.compact_every > 0 && self.comp.contains_recent(&cmd) {
-                    return;
+                self.handle_propose(cmd, acc_quorum, true, ctx);
+            }
+            Msg::ProposeBatch { cmds, acc_quorum } => {
+                for cmd in cmds {
+                    self.handle_propose(cmd, acc_quorum.clone(), false, ctx);
                 }
-                if !self.outstanding.contains(&cmd) {
-                    if self.outstanding.is_empty() {
-                        self.last_progress = ctx.now();
-                    }
-                    self.outstanding.push(cmd.clone());
-                }
-                let classic_active =
-                    self.cval.is_some() && self.cfg.schedule.kind(self.crnd) == RoundKind::Classic;
-                if classic_active {
-                    self.phase2a_classic(cmd, acc_quorum, ctx);
-                } else if !self.backlog.contains(&cmd) {
-                    self.backlog.push(cmd);
-                }
+                self.pump_batches(false, ctx);
             }
             Msg::P1b { round, vrnd, vval } => {
                 self.note_heard(round);
@@ -812,6 +973,9 @@ impl<C: CStruct> Actor for Coordinator<C> {
         if token == TOK_TICK {
             self.tick(ctx);
             ctx.set_timer(self.cfg.timing.heartbeat_every, TOK_TICK);
+        } else if token == TOK_BATCH {
+            self.linger_armed = false;
+            self.pump_batches(true, ctx);
         }
     }
 
@@ -1100,6 +1264,215 @@ mod tests {
         cx.now = SimTime(210 + 201);
         c2.on_timer(TOK_TICK, &mut cx);
         assert!(c2.suspects().contains(&ProcessId(1)));
+    }
+
+    fn batch_cfg(batch: usize, depth: usize, cap: usize) -> Arc<DeployConfig> {
+        Arc::new(
+            DeployConfig::simple(1, 3, 5, 1, Policy::MultiCoordinated).with_batching(
+                crate::config::BatchConfig {
+                    batch_size: batch,
+                    batch_ticks: SimDuration(0),
+                    pipeline_depth: depth,
+                    queue_cap: cap,
+                    overflow: crate::config::Overflow::Shed,
+                },
+            ),
+        )
+    }
+
+    fn p2as_of(cx: &Ctx) -> Vec<C> {
+        cx.sent
+            .iter()
+            .filter_map(|(_, m)| match m {
+                Msg::P2a { val, .. } => val.as_full().map(|v| v.as_ref().clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn quorum_2b(c: &mut Coordinator<C>, r: Round, val: &C, cx: &mut Ctx) {
+        for a in 4..=6 {
+            c.on_message(
+                ProcessId(a),
+                Msg::P2b {
+                    round: r,
+                    val: val.clone().into(),
+                },
+                cx,
+            );
+        }
+    }
+
+    #[test]
+    fn batching_accumulates_waves_and_pipelines() {
+        let mut c1: Coordinator<C> = Coordinator::new(batch_cfg(2, 1, 0), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        // Phase2Start shipped the round's initial (empty) wave, which
+        // occupies the single pipeline slot: proposals must queue.
+        cx.sent.clear();
+        for cmd in [7u32, 8, 9] {
+            c1.on_message(
+                ProcessId(0),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut cx,
+            );
+        }
+        assert!(
+            cx.sent.is_empty(),
+            "pipeline full: no 2a before the initial wave retires"
+        );
+        // A classic quorum of 2bs at the initial wave's length retires it;
+        // the freed slot ships ONE wave of batch_size commands.
+        quorum_2b(&mut c1, r, &C::bottom(), &mut cx);
+        let p2as = p2as_of(&cx);
+        assert_eq!(p2as.len(), 5, "one wave = one 2a multicast to 5 acceptors");
+        assert_eq!(p2as[0].count(), 2, "wave carries batch_size commands");
+        // Acks covering that wave retire it and pump the queued remainder.
+        let wave_val = p2as[0].clone();
+        cx.sent.clear();
+        quorum_2b(&mut c1, r, &wave_val, &mut cx);
+        let p2as = p2as_of(&cx);
+        assert_eq!(p2as.len(), 5);
+        assert_eq!(p2as[0].count(), 3, "final wave appends the queued command");
+    }
+
+    #[test]
+    fn batch_queue_sheds_past_cap_and_resends_recover() {
+        let mut c1: Coordinator<C> = Coordinator::new(batch_cfg(2, 1, 2), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        cx.sent.clear();
+        for cmd in [7u32, 8, 9, 10] {
+            c1.on_message(
+                ProcessId(0),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut cx,
+            );
+        }
+        // cap=2: 9 and 10 were shed; retiring the initial wave ships only
+        // the two queued commands.
+        quorum_2b(&mut c1, r, &C::bottom(), &mut cx);
+        let p2as = p2as_of(&cx);
+        assert_eq!(p2as[0].count(), 2);
+        assert!(p2as[0].contains(&7) && p2as[0].contains(&8));
+        // A proposer retransmission re-offers the shed command once the
+        // queue has drained, and the next retirement carries it.
+        let wave_val = p2as[0].clone();
+        cx.sent.clear();
+        c1.on_message(
+            ProcessId(0),
+            Msg::Propose {
+                cmd: 9,
+                acc_quorum: None,
+            },
+            &mut cx,
+        );
+        assert!(cx.sent.is_empty(), "first wave still in flight");
+        quorum_2b(&mut c1, r, &wave_val, &mut cx);
+        let p2as = p2as_of(&cx);
+        assert_eq!(p2as[0].count(), 3);
+        assert!(p2as[0].contains(&9));
+    }
+
+    #[test]
+    fn propose_batch_is_admitted_as_one_wave() {
+        // Without batching knobs, ProposeBatch degenerates to k sequential
+        // proposals (one 2a each); with them, one wave.
+        let cfg = cfg();
+        let mut c1: Coordinator<C> = Coordinator::new(cfg, ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        let r = Round::new(0, 1, 0, RTYPE_MULTI);
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        cx.sent.clear();
+        c1.on_message(
+            ProcessId(0),
+            Msg::ProposeBatch {
+                cmds: vec![7, 8],
+                acc_quorum: None,
+            },
+            &mut cx,
+        );
+        assert_eq!(
+            p2as_of(&cx).len(),
+            10,
+            "knobs off: one 2a multicast per command"
+        );
+
+        let mut cb: Coordinator<C> = Coordinator::new(batch_cfg(4, 2, 0), ProcessId(1));
+        let mut cxb = ctx_for(1);
+        cb.on_start(&mut cxb);
+        for a in 4..=6 {
+            cb.on_message(ProcessId(a), onb_msg(r), &mut cxb);
+        }
+        quorum_2b(&mut cb, r, &C::bottom(), &mut cxb); // retire initial wave
+        cxb.sent.clear();
+        cb.on_message(
+            ProcessId(0),
+            Msg::ProposeBatch {
+                cmds: vec![7, 8, 9],
+                acc_quorum: None,
+            },
+            &mut cxb,
+        );
+        let p2as = p2as_of(&cxb);
+        assert_eq!(p2as.len(), 5, "batching on: the whole batch is one wave");
+        assert_eq!(p2as[0].count(), 3);
+    }
+
+    #[test]
+    fn round_change_reseeds_batched_commands() {
+        let mut c1: Coordinator<C> = Coordinator::new(batch_cfg(2, 1, 0), ProcessId(1));
+        let mut cx = ctx_for(1);
+        c1.on_start(&mut cx);
+        c1.on_timer(TOK_TICK, &mut cx);
+        let r = c1.crnd();
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r), &mut cx);
+        }
+        // Queue commands behind the in-flight initial wave, then lose all
+        // 2bs: the stall detector starts a fresh round whose Phase2Start
+        // must re-seed every outstanding command.
+        for cmd in [7u32, 8, 9] {
+            c1.on_message(
+                ProcessId(0),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut cx,
+            );
+        }
+        cx.now = SimTime(cx.now.ticks() + cfg().timing.stall_timeout.ticks() + 60);
+        c1.on_timer(TOK_TICK, &mut cx);
+        let r2 = c1.crnd();
+        assert!(r2 > r, "stall must start a new round");
+        cx.sent.clear();
+        for a in 4..=6 {
+            c1.on_message(ProcessId(a), onb_msg(r2), &mut cx);
+        }
+        let p2as = p2as_of(&cx);
+        assert_eq!(p2as.len(), 5);
+        for cmd in [7u32, 8, 9] {
+            assert!(p2as[0].contains(&cmd), "{cmd} must ride Phase2Start");
+        }
     }
 
     #[test]

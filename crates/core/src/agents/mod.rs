@@ -29,6 +29,9 @@ pub const TOK_STABLE_GOSSIP: TimerToken = TimerToken(4);
 /// Acceptor group-commit flush tick: buffered vote writes are synced and
 /// the deferred "2b" broadcast goes out (§4.4 disk-write amortization).
 pub const TOK_FLUSH: TimerToken = TimerToken(5);
+/// Batch linger tick: a partial batch (proposer outbox or coordinator
+/// batch queue) has waited `batch_ticks` and is flushed as-is.
+pub const TOK_BATCH: TimerToken = TimerToken(6);
 
 /// Metric names emitted by the agents (collected by the host runtime).
 pub mod metrics {
@@ -88,4 +91,16 @@ pub mod metrics {
     /// Per-peer delta bases dropped proactively (peer recovery `Hello` or
     /// a link reset) — each one is a `NeedFull` round-trip saved.
     pub const BASE_RESETS: &str = "base_resets";
+    /// Batched `2a` waves issued by coordinators (each amortizes one
+    /// 2a/2b/WAL cycle over up to `batch_size` commands).
+    pub const BATCHES: &str = "batches";
+    /// Commands carried inside batched `2a` waves (`BATCHED_CMDS /
+    /// BATCHES` = achieved batch occupancy).
+    pub const BATCHED_CMDS: &str = "batched_cmds";
+    /// Commands shed by a full coordinator batch queue
+    /// ([`crate::Overflow::Shed`]); proposers re-offer them on resend.
+    pub const BACKPRESSURE_SHEDS: &str = "backpressure_sheds";
+    /// Commands held back at a proposer by a full forward window
+    /// ([`crate::Overflow::Stall`]); forwarded once learning progresses.
+    pub const BACKPRESSURE_STALLS: &str = "backpressure_stalls";
 }

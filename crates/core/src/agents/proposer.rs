@@ -12,8 +12,8 @@
 //! learned, which (together with coordinators re-sending their "2a" on
 //! duplicate proposals) makes the protocol live under fair-lossy links.
 
-use crate::agents::{metrics, TOK_RESEND};
-use crate::config::DeployConfig;
+use crate::agents::{metrics, TOK_BATCH, TOK_RESEND};
+use crate::config::{DeployConfig, Overflow};
 use crate::msg::Msg;
 use mcpaxos_actor::{Actor, Backoff, Context, Metric, ProcessId, TimerToken};
 use mcpaxos_cstruct::CStruct;
@@ -28,6 +28,15 @@ pub struct Proposer<C: CStruct> {
     /// with each attempt (capped there) so a partitioned or failing-over
     /// cluster is not hammered at the base rate; any progress resets it.
     attempts: u32,
+    /// Batching mode: admitted commands awaiting the next
+    /// [`Msg::ProposeBatch`] flush (a subset of `pending`).
+    outbox: Vec<C::Cmd>,
+    /// Batching mode, [`Overflow::Stall`]: commands held un-forwarded
+    /// because the in-flight window is full (a subset of `pending`);
+    /// promoted into the outbox as learning progress frees space.
+    stalled: Vec<C::Cmd>,
+    /// Whether a `TOK_BATCH` linger flush is armed.
+    linger_armed: bool,
 }
 
 impl<C: CStruct> Proposer<C> {
@@ -37,12 +46,30 @@ impl<C: CStruct> Proposer<C> {
             cfg,
             pending: Vec::new(),
             attempts: 0,
+            outbox: Vec::new(),
+            stalled: Vec::new(),
+            linger_armed: false,
         }
     }
 
     /// Commands proposed but not yet reported learned.
     pub fn pending(&self) -> &[C::Cmd] {
         &self.pending
+    }
+
+    /// Commands held back by a full [`Overflow::Stall`] window.
+    pub fn stalled(&self) -> &[C::Cmd] {
+        &self.stalled
+    }
+
+    fn batching(&self) -> bool {
+        self.cfg.batch.enabled()
+    }
+
+    /// Commands forwarded and not yet learned (outside the outbox and the
+    /// stall hold): the in-flight window the `Stall` policy bounds.
+    fn in_flight(&self) -> usize {
+        self.pending.len() - self.outbox.len() - self.stalled.len()
     }
 
     fn pick_subset(
@@ -96,6 +123,80 @@ impl<C: CStruct> Proposer<C> {
         }
     }
 
+    /// Ships one `ProposeBatch` to the same targets `forward` would use,
+    /// amortizing the fan-out over the whole chunk (one quorum pick per
+    /// batch under §4.1 load balancing).
+    fn forward_batch(&self, cmds: Vec<C::Cmd>, ctx: &mut dyn Context<Msg<C>>) {
+        if cmds.is_empty() {
+            return;
+        }
+        let coords = self.cfg.roles.coordinators().to_vec();
+        let accs = self.cfg.roles.acceptors().to_vec();
+        if self.cfg.load_balance {
+            let fresh = self.cfg.schedule.initial(0, 0);
+            let cq = self.cfg.schedule.coord_quorum(fresh);
+            let fast = self.cfg.schedule.kind(fresh) == crate::schedule::RoundKind::Fast;
+            let acc_size = if fast {
+                self.cfg.quorums.fast_size()
+            } else {
+                self.cfg.quorums.classic_size()
+            };
+            let coord_targets = self.pick_subset(&coords, cq.quorum_size(), ctx);
+            let acc_targets = self.pick_subset(&accs, acc_size, ctx);
+            let msg = Msg::ProposeBatch {
+                cmds,
+                acc_quorum: Some(acc_targets.clone()),
+            };
+            ctx.multicast(&coord_targets, msg.clone());
+            if fast {
+                ctx.multicast(&acc_targets, msg);
+            }
+        } else {
+            let msg = Msg::ProposeBatch {
+                cmds,
+                acc_quorum: None,
+            };
+            ctx.multicast(&coords, msg.clone());
+            ctx.multicast(&accs, msg);
+        }
+    }
+
+    /// Flushes the outbox as `ProposeBatch` chunks. A partial chunk only
+    /// goes out when the linger expired (or no linger is configured);
+    /// otherwise the `TOK_BATCH` timer is armed to bound its wait.
+    fn flush_outbox(&mut self, linger_expired: bool, ctx: &mut dyn Context<Msg<C>>) {
+        let b = self.cfg.batch;
+        let mut allow_partial = linger_expired || b.batch_ticks.ticks() == 0;
+        while !self.outbox.is_empty() {
+            if self.outbox.len() < b.batch_size && !allow_partial {
+                if !self.linger_armed {
+                    self.linger_armed = true;
+                    ctx.set_timer(b.batch_ticks, TOK_BATCH);
+                }
+                return;
+            }
+            // One linger expiry flushes exactly one partial chunk.
+            allow_partial = b.batch_ticks.ticks() == 0;
+            let take = self.outbox.len().min(b.batch_size);
+            let chunk: Vec<C::Cmd> = self.outbox.drain(..take).collect();
+            self.forward_batch(chunk, ctx);
+        }
+    }
+
+    /// Moves stalled commands into the outbox while the in-flight window
+    /// has room, then flushes.
+    fn promote_stalled(&mut self, ctx: &mut dyn Context<Msg<C>>) {
+        let cap = self.cfg.batch.queue_cap;
+        if self.stalled.is_empty() || cap == 0 {
+            return;
+        }
+        while !self.stalled.is_empty() && self.in_flight() + self.outbox.len() < cap {
+            let cmd = self.stalled.remove(0);
+            self.outbox.push(cmd);
+        }
+        self.flush_outbox(false, ctx);
+    }
+
     fn arm_resend(&self, ctx: &mut dyn Context<Msg<C>>) {
         let every = self.cfg.timing.proposer_resend;
         if every.ticks() == 0 {
@@ -126,18 +227,46 @@ impl<C: CStruct> Actor for Proposer<C> {
     fn on_message(&mut self, _from: ProcessId, msg: Msg<C>, ctx: &mut dyn Context<Msg<C>>) {
         match msg {
             Msg::Propose { cmd, .. } => {
-                if !self.pending.contains(&cmd) {
-                    self.pending.push(cmd.clone());
-                    ctx.metric(Metric::incr(metrics::PROPOSED));
+                if !self.batching() {
+                    if !self.pending.contains(&cmd) {
+                        self.pending.push(cmd.clone());
+                        ctx.metric(Metric::incr(metrics::PROPOSED));
+                    }
+                    self.forward(&cmd, ctx);
+                    return;
                 }
-                self.forward(&cmd, ctx);
+                // Batching mode: admit once, then let the outbox/linger
+                // machinery decide when the command reaches the wire.
+                // Duplicate submissions are covered by the resend timer
+                // instead of an immediate re-forward.
+                if self.pending.contains(&cmd) {
+                    return;
+                }
+                // Window occupancy before this admission: forwarded or
+                // outboxed commands, not stall-held ones.
+                let occupied = self.in_flight() + self.outbox.len();
+                self.pending.push(cmd.clone());
+                ctx.metric(Metric::incr(metrics::PROPOSED));
+                let b = self.cfg.batch;
+                if b.overflow == Overflow::Stall && b.queue_cap > 0 && occupied >= b.queue_cap {
+                    ctx.metric(Metric::incr(metrics::BACKPRESSURE_STALLS));
+                    self.stalled.push(cmd);
+                    return;
+                }
+                self.outbox.push(cmd);
+                self.flush_outbox(false, ctx);
             }
             Msg::Learned { cmds } => {
                 let before = self.pending.len();
                 self.pending.retain(|c| !cmds.contains(c));
+                self.outbox.retain(|c| !cmds.contains(c));
+                self.stalled.retain(|c| !cmds.contains(c));
                 if self.pending.len() < before {
                     // Progress: the path works again, restart the ladder.
                     self.attempts = 0;
+                    if self.batching() {
+                        self.promote_stalled(ctx);
+                    }
                 }
             }
             _ => {}
@@ -148,14 +277,38 @@ impl<C: CStruct> Actor for Proposer<C> {
         if token == TOK_RESEND {
             if !self.pending.is_empty() {
                 ctx.metric(Metric::incr(metrics::RESENDS));
-                for cmd in &self.pending {
-                    self.forward(cmd, ctx);
+                if self.batching() {
+                    // Re-forward the in-flight window (everything pending
+                    // except stall-held commands) in batch-sized chunks;
+                    // the outbox rides along, so clear it — its contents
+                    // are on the wire after this.
+                    let window: Vec<C::Cmd> = self
+                        .pending
+                        .iter()
+                        .filter(|c| !self.stalled.contains(c))
+                        .cloned()
+                        .collect();
+                    self.outbox.clear();
+                    if std::mem::take(&mut self.linger_armed) {
+                        ctx.cancel_timer(TOK_BATCH);
+                    }
+                    let chunk = self.cfg.batch.batch_size.max(1);
+                    for part in window.chunks(chunk) {
+                        self.forward_batch(part.to_vec(), ctx);
+                    }
+                } else {
+                    for cmd in &self.pending {
+                        self.forward(cmd, ctx);
+                    }
                 }
                 self.attempts = self.attempts.saturating_add(1);
             } else {
                 self.attempts = 0;
             }
             self.arm_resend(ctx);
+        } else if token == TOK_BATCH {
+            self.linger_armed = false;
+            self.flush_outbox(true, ctx);
         }
     }
 }
@@ -264,6 +417,129 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    fn batch_cfg(batch: usize, cap: usize, overflow: crate::config::Overflow) -> Arc<DeployConfig> {
+        let b = crate::config::BatchConfig {
+            batch_size: batch,
+            batch_ticks: SimDuration(2),
+            pipeline_depth: 4,
+            queue_cap: cap,
+            overflow,
+        };
+        Arc::new(DeployConfig::simple(1, 1, 3, 1, Policy::SingleCoordinated).with_batching(b))
+    }
+
+    /// Batches as seen by one process (the first coordinator), so each
+    /// multicast counts once.
+    fn batches_of(c: &Ctx, cfg: &DeployConfig) -> Vec<Vec<u32>> {
+        let coord = cfg.roles.coordinators()[0];
+        let mut out = vec![];
+        for (to, m) in &c.sent {
+            if let (true, Msg::ProposeBatch { cmds, .. }) = (*to == coord, m) {
+                out.push(cmds.clone());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batching_lingers_partial_and_flushes_full_batches() {
+        let cfg = batch_cfg(2, 0, crate::config::Overflow::Shed);
+        let mut p: Proposer<C> = Proposer::new(cfg.clone());
+        let mut c = ctx();
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 1,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        // Partial batch lingers: nothing on the wire, TOK_BATCH armed.
+        assert!(c.sent.is_empty());
+        assert_eq!(c.timers, vec![TOK_BATCH]);
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 2,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        // Full batch: one ProposeBatch to 1 coordinator + 3 acceptors.
+        assert_eq!(c.sent.len(), 4);
+        assert_eq!(batches_of(&c, &cfg)[0], vec![1, 2]);
+        // A new partial lingers until the timer fires, then flushes as-is.
+        p.on_message(
+            ProcessId(99),
+            Msg::Propose {
+                cmd: 3,
+                acc_quorum: None,
+            },
+            &mut c,
+        );
+        assert_eq!(c.sent.len(), 4);
+        p.on_timer(TOK_BATCH, &mut c);
+        assert_eq!(c.sent.len(), 8);
+        assert_eq!(batches_of(&c, &cfg)[1], vec![3]);
+        assert_eq!(p.pending(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn stall_window_holds_commands_and_promotes_on_progress() {
+        let cfg = batch_cfg(1, 2, crate::config::Overflow::Stall);
+        // batch_size 1 + linger still means a chunk of 1 flushes as soon
+        // as it is full, so every admitted command hits the wire at once.
+        let mut p: Proposer<C> = Proposer::new(cfg.clone());
+        let mut c = ctx();
+        for cmd in [1u32, 2, 3] {
+            p.on_message(
+                ProcessId(99),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut c,
+            );
+        }
+        // Window of 2 in flight; the third command is held back.
+        assert_eq!(batches_of(&c, &cfg), vec![vec![1], vec![2]]);
+        assert_eq!(p.stalled(), &[3]);
+        // Learning progress frees a slot: the stalled command goes out.
+        p.on_message(ProcessId(50), Msg::Learned { cmds: vec![1] }, &mut c);
+        assert_eq!(batches_of(&c, &cfg), vec![vec![1], vec![2], vec![3]]);
+        assert!(p.stalled().is_empty());
+        assert_eq!(p.pending(), &[2, 3]);
+    }
+
+    #[test]
+    fn resend_rebatches_the_inflight_window() {
+        let cfg = batch_cfg(2, 0, crate::config::Overflow::Shed);
+        let mut p: Proposer<C> = Proposer::new(cfg.clone());
+        let mut c = ctx();
+        for cmd in [1u32, 2, 3, 4, 5] {
+            p.on_message(
+                ProcessId(99),
+                Msg::Propose {
+                    cmd,
+                    acc_quorum: None,
+                },
+                &mut c,
+            );
+        }
+        // Two full batches flushed, command 5 lingering in the outbox.
+        assert_eq!(batches_of(&c, &cfg), vec![vec![1, 2], vec![3, 4]]);
+        c.sent.clear();
+        p.on_timer(TOK_RESEND, &mut c);
+        // The whole pending window is re-forwarded in batch-size chunks
+        // (the lingering outbox rides along instead of waiting).
+        assert_eq!(batches_of(&c, &cfg), vec![vec![1, 2], vec![3, 4], vec![5]]);
+        // The outbox was absorbed by the resend: a later linger expiry
+        // has nothing left to flush.
+        c.sent.clear();
+        p.on_timer(TOK_BATCH, &mut c);
+        assert!(c.sent.is_empty());
     }
 
     #[test]

@@ -166,6 +166,82 @@ impl Timing {
     }
 }
 
+/// What a bounded batching queue does when it is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overflow {
+    /// Drop the overflowing command and count it
+    /// (`backpressure_sheds`); the proposer's retransmission timer
+    /// re-offers it once the queue drains. Bounds coordinator memory at
+    /// the cost of extra resend traffic under overload.
+    Shed,
+    /// Hold the overflowing command at the *proposer* — it stays pending
+    /// but is not forwarded until learning progress frees window space
+    /// (`backpressure_stalls`). Bounds in-flight work without dropping.
+    Stall,
+}
+
+/// Proposal batching and phase-2 pipelining knobs (the hot-path
+/// scheduler).
+///
+/// Defaults to *off* (`batch_size == 0`): proposers forward each command
+/// the instant it arrives and coordinators issue one `2a` per proposal,
+/// reproducing the paper's per-command message semantics exactly. With
+/// batching on, coordinators accumulate up to `batch_size` proposals (or
+/// whatever has arrived after `batch_ticks` of linger) and amortize one
+/// 2a/2b/WAL-group-commit cycle over the whole batch, while keeping up to
+/// `pipeline_depth` such waves in flight instead of waiting for each
+/// wave's quorum before issuing the next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum commands amortized into one `2a` (0 disables batching and
+    /// pipelining entirely; 1 is a lockstep wave-per-command baseline).
+    pub batch_size: usize,
+    /// How long a partial batch lingers waiting for more commands before
+    /// being flushed anyway (0 = flush immediately, never linger).
+    pub batch_ticks: SimDuration,
+    /// Maximum unacknowledged `2a` waves in flight per coordinator (and
+    /// un-learned commands, in batches, per proposer). Must be ≥ 1 when
+    /// batching is on.
+    pub pipeline_depth: usize,
+    /// Bound on queued-but-not-yet-sent commands (coordinator batch queue
+    /// / proposer forward window). 0 = unbounded.
+    pub queue_cap: usize,
+    /// What happens to commands past `queue_cap`.
+    pub overflow: Overflow,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            batch_size: 0,
+            batch_ticks: SimDuration(0),
+            pipeline_depth: 1,
+            queue_cap: 0,
+            overflow: Overflow::Shed,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Whether the batching/pipelining scheduler is active at all.
+    pub fn enabled(&self) -> bool {
+        self.batch_size > 0
+    }
+
+    /// The throughput preset: waves of up to `batch` commands, `depth`
+    /// in flight, a 2-tick linger for partial batches, and a shed-on-
+    /// overflow queue sized to hold one full pipeline of batches.
+    pub fn pipelined(batch: usize, depth: usize) -> Self {
+        BatchConfig {
+            batch_size: batch,
+            batch_ticks: SimDuration(2),
+            pipeline_depth: depth,
+            queue_cap: batch.saturating_mul(depth).saturating_mul(4),
+            overflow: Overflow::Shed,
+        }
+    }
+}
+
 /// Full configuration of a Multicoordinated Paxos deployment.
 ///
 /// Shared (via `Arc`) by all agents; contains only immutable data.
@@ -197,6 +273,8 @@ pub struct DeployConfig {
     /// (§4.4's per-accept write is the `SimDuration(0)` default, which
     /// flushes synchronously and changes nothing).
     pub group_commit: SimDuration,
+    /// Proposal batching and phase-2 pipelining (off by default).
+    pub batch: BatchConfig,
 }
 
 impl DeployConfig {
@@ -246,6 +324,7 @@ impl DeployConfig {
             timing: Timing::default(),
             wire: WireConfig::default(),
             group_commit: SimDuration(0),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -298,6 +377,12 @@ impl DeployConfig {
         self
     }
 
+    /// Returns `self` with the given batching/pipelining knobs.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Learner-quorum size for stable-watermark agreement: a majority of
     /// the deployed learners (1 for a single learner).
     pub fn learner_quorum(&self) -> usize {
@@ -331,6 +416,14 @@ impl DeployConfig {
         }
         if self.wire.compact_every > 0 && self.wire.stable_keep == 0 {
             return Err("compaction requires stable_keep >= 1 (normalization window)".into());
+        }
+        if self.batch.enabled() {
+            if self.batch.pipeline_depth == 0 {
+                return Err("batching requires pipeline_depth >= 1".into());
+            }
+            if self.batch.queue_cap > 0 && self.batch.queue_cap < self.batch.batch_size {
+                return Err("batch queue_cap smaller than one batch can never fill a batch".into());
+            }
         }
         if self.collision == CollisionPolicy::Uncoordinated
             && self.schedule.policy() != Policy::FastForever
@@ -396,6 +489,36 @@ mod tests {
         assert!(cfg.load_balance);
         assert!(!cfg.notify_learned);
         assert_eq!(cfg.timing.heartbeat_every, SimDuration(5));
+    }
+
+    #[test]
+    fn batching_defaults_off_and_builder_applies() {
+        let cfg = DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated);
+        assert!(!cfg.batch.enabled(), "batching must default off");
+        assert_eq!(cfg.batch, BatchConfig::default());
+        cfg.validate().unwrap();
+
+        let cfg = cfg.with_batching(BatchConfig::pipelined(16, 8));
+        assert!(cfg.batch.enabled());
+        assert_eq!(cfg.batch.batch_size, 16);
+        assert_eq!(cfg.batch.pipeline_depth, 8);
+        assert_eq!(cfg.batch.overflow, Overflow::Shed);
+        cfg.validate().unwrap();
+
+        let bad =
+            DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated).with_batching(BatchConfig {
+                batch_size: 4,
+                pipeline_depth: 0,
+                ..BatchConfig::default()
+            });
+        assert!(bad.validate().is_err(), "depth 0 with batching on");
+        let bad =
+            DeployConfig::simple(1, 3, 5, 2, Policy::MultiCoordinated).with_batching(BatchConfig {
+                batch_size: 8,
+                queue_cap: 4,
+                ..BatchConfig::default()
+            });
+        assert!(bad.validate().is_err(), "cap below one batch");
     }
 
     #[test]

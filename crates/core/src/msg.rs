@@ -271,6 +271,18 @@ pub enum Msg<C: CStruct> {
         /// The requester's current watermark.
         from: u64,
     },
+    /// `⟨"propose", ⟨C₁…Cₖ⟩⟩` — a proposer forwards a *batch* of commands
+    /// in one message, amortizing the per-message envelope over k
+    /// proposals. Semantically identical to k consecutive
+    /// [`Msg::Propose`]s with the same `acc_quorum`; receivers process
+    /// the commands in order. Only emitted when
+    /// [`crate::BatchConfig::enabled`] is on.
+    ProposeBatch {
+        /// The proposed commands, in submission order.
+        cmds: Vec<C::Cmd>,
+        /// Load-balancing pin, as in [`Msg::Propose`].
+        acc_quorum: Option<Vec<ProcessId>>,
+    },
     /// Restart announcement: "whatever you last shipped me died with my
     /// volatile state — your next payload to me must be `Full`."
     /// Broadcast from `on_recover` to the peers that track a per-peer
@@ -298,6 +310,7 @@ impl<C: CStruct> Msg<C> {
             Msg::StableAck { .. } => "stable_ack",
             Msg::Stable { .. } => "stable",
             Msg::NeedStable { .. } => "needstable",
+            Msg::ProposeBatch { .. } => "propose_batch",
             Msg::Hello => "hello",
         }
     }
@@ -363,6 +376,11 @@ impl<C: CStruct> Wire for Msg<C> {
                 from.encode(out);
             }
             Msg::Hello => out.push(13),
+            Msg::ProposeBatch { cmds, acc_quorum } => {
+                out.push(14);
+                cmds.encode(out);
+                acc_quorum.encode(out);
+            }
         }
     }
 
@@ -413,6 +431,10 @@ impl<C: CStruct> Wire for Msg<C> {
                 from: u64::decode(input)?,
             }),
             13 => Ok(Msg::Hello),
+            14 => Ok(Msg::ProposeBatch {
+                cmds: Wire::decode(input)?,
+                acc_quorum: Wire::decode(input)?,
+            }),
             _ => Err(WireError {
                 what: "invalid msg tag",
             }),
@@ -462,6 +484,10 @@ mod tests {
                 cmds: vec![],
             },
             Msg::NeedStable { from: 0 },
+            Msg::ProposeBatch {
+                cmds: vec![1, 2],
+                acc_quorum: None,
+            },
             Msg::Hello,
         ];
         let tags: Vec<&str> = msgs.iter().map(|m| m.tag()).collect();
@@ -481,6 +507,7 @@ mod tests {
                 "stable_ack",
                 "stable",
                 "needstable",
+                "propose_batch",
                 "hello"
             ]
         );
@@ -552,6 +579,14 @@ mod tests {
                 cmds: vec![9, 10],
             },
             Msg::NeedStable { from: 64 },
+            Msg::ProposeBatch {
+                cmds: vec![21, 22, 23],
+                acc_quorum: Some(vec![ProcessId(4)]),
+            },
+            Msg::ProposeBatch {
+                cmds: vec![],
+                acc_quorum: None,
+            },
             Msg::Hello,
         ];
         for m in msgs {

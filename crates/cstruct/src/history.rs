@@ -644,6 +644,20 @@ impl<C: Command + Conflict> CStruct for CommandHistory<C> {
         }
     }
 
+    fn append_all<I: IntoIterator<Item = C>>(&mut self, cmds: I) {
+        // Batched 2a waves land here k commands at a time: reserve the
+        // sequence/offset tables once instead of growing per command. The
+        // per-command path is unchanged, so the result is identical to k
+        // sequential appends.
+        let it = cmds.into_iter();
+        let (lo, _) = it.size_hint();
+        self.seq.reserve(lo);
+        self.pred_off.reserve(lo);
+        for c in it {
+            self.append(c);
+        }
+    }
+
     fn le(&self, other: &Self) -> bool {
         self.assert_aligned(other, "le");
         // self ⊑ other iff other = self • σ for some σ, i.e.:

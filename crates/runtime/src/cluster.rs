@@ -5,9 +5,10 @@
 //! baseline the TCP backend's byte accounting is checked against.
 
 use crate::process::{
-    run_process, Event, LiveByteMeter, ProcessSpec, Router, SendActor, METRIC_SEND_FAILURES,
+    run_process, Event, LiveByteMeter, ProcessSpec, Router, SendActor, METRIC_BACKPRESSURE_DROPS,
+    METRIC_SEND_FAILURES,
 };
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
 use mcpaxos_actor::{MemStore, Metric, MetricSink, Metrics, ProcessId, SimTime, StableStore};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -25,6 +26,7 @@ pub struct Cluster<M> {
     handles: Vec<(ProcessId, JoinHandle<SendActor<M>>)>,
     byte_meter: Option<LiveByteMeter<M>>,
     router: Router<M>,
+    mailbox_cap: usize,
 }
 
 impl<M: Send + 'static> Cluster<M> {
@@ -40,15 +42,20 @@ impl<M: Send + 'static> Cluster<M> {
                 // disconnected channel (crashed thread) are the same
                 // thing to the sender: the message is lost on a dead
                 // link, counted, never panicking — exactly what the TCP
-                // backend does when a peer is down.
-                let delivered = match registry.read().get(&to) {
-                    Some(tx) => tx.send(Event::Msg { from, msg }).is_ok(),
-                    None => false,
+                // backend does when a peer is down. A *full* bounded
+                // mailbox (see `with_mailbox_cap`) is different: the peer
+                // is alive but overloaded, so the shed message counts as
+                // backpressure, not a link failure.
+                let dropped_as = match registry.read().get(&to) {
+                    Some(tx) => match tx.try_send(Event::Msg { from, msg }) {
+                        Ok(()) => None,
+                        Err(TrySendError::Full(_)) => Some(METRIC_BACKPRESSURE_DROPS),
+                        Err(TrySendError::Disconnected(_)) => Some(METRIC_SEND_FAILURES),
+                    },
+                    None => Some(METRIC_SEND_FAILURES),
                 };
-                if !delivered {
-                    metrics
-                        .lock()
-                        .record(from, Metric::incr(METRIC_SEND_FAILURES));
+                if let Some(name) = dropped_as {
+                    metrics.lock().record(from, Metric::incr(name));
                 }
             }) as Router<M>
         };
@@ -59,7 +66,19 @@ impl<M: Send + 'static> Cluster<M> {
             handles: Vec::new(),
             byte_meter: None,
             router,
+            mailbox_cap: 0,
         }
+    }
+
+    /// Bounds every mailbox spawned from now on to `cap` queued events
+    /// (`0` = unbounded, the default). With a bound in place, sends to a
+    /// full mailbox are shed and counted per sender under
+    /// [`crate::METRIC_BACKPRESSURE_DROPS`] — dead-peer drops keep their
+    /// own [`crate::METRIC_SEND_FAILURES`] ledger. Set *before* spawning
+    /// the processes the bound should apply to.
+    pub fn with_mailbox_cap(mut self, cap: usize) -> Self {
+        self.mailbox_cap = cap;
+        self
     }
 
     /// Installs a byte meter: every message a process sends from now on
@@ -103,7 +122,11 @@ impl<M: Send + 'static> Cluster<M> {
         storage: Box<dyn StableStore + Send>,
         recovered: bool,
     ) {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = if self.mailbox_cap > 0 {
+            bounded(self.mailbox_cap)
+        } else {
+            unbounded()
+        };
         {
             let mut reg = self.registry.write();
             assert!(reg.insert(pid, tx).is_none(), "process {pid} spawned twice");
@@ -270,6 +293,44 @@ mod tests {
         assert!(stopped.is_some());
         cluster.send(ProcessId(0), ProcessId(99), 1);
         assert_eq!(cluster.metrics().of(ProcessId(99), METRIC_SEND_FAILURES), 2);
+        cluster.stop();
+    }
+
+    struct SlowDrain;
+    impl Actor for SlowDrain {
+        type Msg = u32;
+        fn on_message(&mut self, _f: ProcessId, _m: u32, ctx: &mut dyn Context<u32>) {
+            std::thread::sleep(Duration::from_millis(300));
+            ctx.metric(Metric::incr("drained"));
+        }
+        fn on_timer(&mut self, _t: TimerToken, _c: &mut dyn Context<u32>) {}
+    }
+
+    #[test]
+    fn full_mailboxes_shed_as_backpressure_not_send_failures() {
+        use crate::process::METRIC_BACKPRESSURE_DROPS;
+        let mut cluster: Cluster<u32> = Cluster::new().with_mailbox_cap(1);
+        cluster.spawn(ProcessId(0), Box::new(SlowDrain));
+        // First message: delivered, the actor starts its slow drain.
+        cluster.send(ProcessId(0), ProcessId(99), 1);
+        std::thread::sleep(Duration::from_millis(50));
+        // Second fills the (capacity 1) mailbox; the rest are shed.
+        for _ in 0..5 {
+            cluster.send(ProcessId(0), ProcessId(99), 2);
+        }
+        let m = cluster.metrics();
+        assert!(
+            m.of(ProcessId(99), METRIC_BACKPRESSURE_DROPS) >= 1,
+            "overload must surface as backpressure drops"
+        );
+        assert_eq!(
+            m.of(ProcessId(99), METRIC_SEND_FAILURES),
+            0,
+            "a live-but-slow peer is not a dead link"
+        );
+        // Dead-peer drops stay on their own ledger.
+        cluster.send(ProcessId(7), ProcessId(99), 1);
+        assert_eq!(cluster.metrics().of(ProcessId(99), METRIC_SEND_FAILURES), 1);
         cluster.stop();
     }
 

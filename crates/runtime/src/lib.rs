@@ -58,8 +58,8 @@ mod transport;
 pub use cluster::Cluster;
 pub use fault::{FaultAction, FaultConfig, FaultyTransport};
 pub use process::{
-    LiveByteMeter, SendActor, SendableActor, METRIC_SEND_FAILURES, METRIC_WIRE_BYTES,
-    METRIC_WIRE_MSGS,
+    LiveByteMeter, SendActor, SendableActor, METRIC_BACKPRESSURE_DROPS, METRIC_SEND_FAILURES,
+    METRIC_WIRE_BYTES, METRIC_WIRE_MSGS,
 };
 pub use tcp::{
     framed_size_of, PeerTable, TcpConfig, TcpNode, DATA_HEADER_BYTES, METRIC_TCP_FRAMES,

@@ -90,6 +90,11 @@ pub const METRIC_WIRE_MSGS: &str = "wire_msgs";
 /// too large to frame. Recorded per *sender* — it is the sender's view
 /// of the fair-lossy link.
 pub const METRIC_SEND_FAILURES: &str = "send_failures";
+/// Metric name counting sends shed because the destination's bounded
+/// mailbox was full (see [`crate::Cluster::with_mailbox_cap`]). Distinct
+/// from [`METRIC_SEND_FAILURES`]: the peer is alive but overloaded, so
+/// the drop is backpressure, not a dead link. Recorded per *sender*.
+pub const METRIC_BACKPRESSURE_DROPS: &str = "backpressure_drops";
 
 /// Everything a process thread needs to run, bundled so backends build
 /// it declaratively.

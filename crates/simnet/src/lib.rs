@@ -40,6 +40,7 @@ mod chaos;
 mod config;
 pub mod explore;
 mod sim;
+mod stats;
 mod topology;
 mod trace;
 
@@ -47,5 +48,6 @@ pub use chaos::{ChaosEvent, ChaosSchedule};
 pub use config::{DelayDist, NetConfig};
 pub use explore::{explore, Choice, ExploreConfig, ExploreNet, ExploreStats, Violation};
 pub use sim::{ByteMeter, ProcessStats, Sim, StorageFactory, WireTotal};
+pub use stats::{percentile, percentile_sorted, LatencyStats};
 pub use topology::Topology;
 pub use trace::{TraceEntry, TraceKind};

@@ -1,0 +1,106 @@
+//! Latency-series statistics for experiment harnesses.
+//!
+//! Percentiles use the *nearest-rank* definition: `pXX` of a series of
+//! `n` samples is the value at (1-based) rank `ceil(XX/100 · n)` in the
+//! sorted series. Nearest-rank always returns an observed sample (no
+//! interpolation), which keeps reported tails honest for the small-`n`,
+//! long-tailed delivery-latency series the benches produce.
+
+/// A summary of one latency series (ticks, or any unit the caller uses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Nearest-rank 50th percentile (median).
+    pub p50: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+    /// Nearest-rank 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (order irrelevant). Returns `None` for an
+    /// empty series — there is no honest percentile of nothing.
+    pub fn of(samples: &[u64]) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        Some(LatencyStats {
+            count: sorted.len(),
+            mean: sum as f64 / sorted.len() as f64,
+            p50: percentile_sorted(&sorted, 50.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            p999: percentile_sorted(&sorted, 99.9),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted series.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` is outside `(0, 100]`.
+pub fn percentile_sorted(sorted: &[u64], pct: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty series");
+    assert!(pct > 0.0 && pct <= 100.0, "percentile {pct} out of range");
+    // The true rank pct·n/100 is rational; subtract an epsilon far below
+    // any rank gap so binary-representation overshoot (99.9/100·1000 =
+    // 999.0000…01) cannot bump ceil() to the next rank.
+    let rank = (pct / 100.0 * sorted.len() as f64 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Nearest-rank percentile of an unsorted series (sorts a copy).
+pub fn percentile(samples: &[u64], pct: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    percentile_sorted(&sorted, pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_definition() {
+        // The classic worked example: 5 samples.
+        let s = [15, 20, 35, 40, 50];
+        assert_eq!(percentile(&s, 30.0), 20); // rank ceil(1.5) = 2
+        assert_eq!(percentile(&s, 40.0), 20); // rank ceil(2.0) = 2
+        assert_eq!(percentile(&s, 50.0), 35);
+        assert_eq!(percentile(&s, 100.0), 50);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        assert_eq!(percentile(&[7], 0.1), 7);
+        assert_eq!(percentile(&[7], 99.9), 7);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        // 0..=999: p99 = rank 990 → 989; p999 = rank 999 → 998.
+        let s: Vec<u64> = (0..1000).collect();
+        let st = LatencyStats::of(&s).unwrap();
+        assert_eq!(st.p50, 499);
+        assert_eq!(st.p99, 989);
+        assert_eq!(st.p999, 998);
+        assert_eq!(st.max, 999);
+        assert_eq!(st.count, 1000);
+        assert!((st.mean - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_has_no_stats() {
+        assert_eq!(LatencyStats::of(&[]), None);
+    }
+}

@@ -92,6 +92,35 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the message is returned.
+        Full(T),
+        /// All receivers are gone; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: Send> std::error::Error for TrySendError<T> {}
+
     /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -151,6 +180,25 @@ pub mod channel {
                         queue = self.shared.send_ready.wait(queue).unwrap();
                     }
                     _ => break,
+                }
+            }
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.recv_ready.notify_one();
+            Ok(())
+        }
+
+        /// Sends `msg` without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] instead of waiting, so the caller can
+        /// shed load (and count the drop) rather than stall.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             queue.push_back(msg);
@@ -316,6 +364,17 @@ pub mod channel {
             assert_eq!(t.join().unwrap(), "done");
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
